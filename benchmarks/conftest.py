@@ -1,0 +1,42 @@
+"""Shared state for the benchmark suite.
+
+Every table/figure is measured against one generated snapshot and one
+cleaning run (exactly as the paper measures everything on one NVD
+snapshot).  ``REPRO_SCALE`` scales the population — 1.0 reproduces the
+paper's 107.2K CVEs; the default keeps a full run in minutes.
+
+Each benchmark prints its table/figure alongside a paper-vs-measured
+report; rendered output is also written to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import default_bundle, default_rectified
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bundle():
+    return default_bundle()
+
+
+@pytest.fixture(scope="session")
+def rectified():
+    return default_rectified()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print rendered output and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}")
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

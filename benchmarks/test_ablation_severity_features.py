@@ -1,0 +1,83 @@
+"""Ablation — which features earn their place in the v2→v3 model?
+
+§4.3 adds the CWE id to the feature set, citing Holm & Afridi's
+finding that CVSS reliability depends on the vulnerability type, and
+reports confidentiality / base score / integrity as the most important
+features.  This ablation retrains the (fast, deterministic) linear
+model with feature groups removed.
+"""
+
+import numpy as np
+
+from repro.core.severity import FEATURE_NAMES, feature_matrix
+from repro.cvss import severity_v3
+from repro.ml import LinearRegression, accuracy, stratified_split
+from repro.reporting import ExperimentReport, render_table
+
+GROUPS = {
+    "full": None,
+    "without CWE id": ("cwe_id",),
+    "without impact triple": ("confidentiality", "integrity", "availability"),
+    "without subscores": ("base_score", "impact_subscore", "exploitability_subscore"),
+}
+
+
+def fit_accuracy(features, y_scores, v3_labels, train, test, dropped):
+    keep = [
+        i for i, name in enumerate(FEATURE_NAMES) if not dropped or name not in dropped
+    ]
+    x = features[:, keep]
+    model = LinearRegression().fit(x[train], y_scores[train])
+    predicted = np.clip(model.predict(x[test]), 0, 10)
+    return accuracy(
+        [v3_labels[i] for i in test], [severity_v3(s).value for s in predicted]
+    )
+
+
+def test_ablation_severity_features(benchmark, bundle, emit):
+    dual = bundle.snapshot.with_v3()
+    features = feature_matrix(dual)
+    y_scores = np.array([e.v3_score for e in dual])
+    v3_labels = [e.v3_severity.value for e in dual]
+    v2_labels = [e.v2_severity.value for e in dual]
+    train, test = stratified_split(v2_labels, 0.2, seed=0)
+
+    results = {}
+    for name, dropped in GROUPS.items():
+        results[name] = fit_accuracy(features, y_scores, v3_labels, train, test, dropped)
+    benchmark.pedantic(
+        fit_accuracy,
+        args=(features, y_scores, v3_labels, train, test, None),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [[name, f"{acc * 100:.1f}%"] for name, acc in results.items()]
+    table = render_table(
+        ["Feature set", "Accuracy"], rows, title="Ablation: severity features"
+    )
+
+    report = ExperimentReport(
+        "Ablation (features)", "which inputs drive the v3 prediction?"
+    )
+    report.add(
+        "dropping the CWE id hurts",
+        "type matters (Holm & Afridi)",
+        f"{results['full'] * 100:.1f}% -> {results['without CWE id'] * 100:.1f}%",
+        results["without CWE id"] <= results["full"] + 0.01,
+    )
+    report.add(
+        "impact triple is load-bearing",
+        "C and I most important",
+        f"{results['full'] * 100:.1f}% -> "
+        f"{results['without impact triple'] * 100:.1f}%",
+        results["without impact triple"] < results["full"],
+    )
+    report.add(
+        "subscores carry signal too",
+        "base score important",
+        f"{results['full'] * 100:.1f}% -> {results['without subscores'] * 100:.1f}%",
+        results["without subscores"] <= results["full"] + 0.02,
+    )
+    emit("ablation_features", table + "\n\n" + report.render())
+    assert report.all_hold

@@ -1,0 +1,74 @@
+"""Figure 3 — yearly severity mix under v2, assigned v3, and pv3.
+
+Paper: before 2015 almost no CVEs have assigned v3 (several early
+years show a single severity level — unrepresentative), while pv3
+covers every year; the proportion of critical CVEs declines over the
+years under pv3.
+"""
+
+from repro.analysis import yearly_severity_distributions
+from repro.cvss import Severity
+from repro.reporting import ExperimentReport, render_table
+
+
+def test_fig3_yearly_severity(benchmark, bundle, rectified, emit):
+    yearly = benchmark(
+        yearly_severity_distributions, bundle.snapshot, rectified.pv3_severity
+    )
+
+    rows = []
+    for year in sorted(yearly):
+        panels = yearly[year]
+        rows.append(
+            [
+                year,
+                f"{panels['v2'].get(Severity.HIGH, 0):.0f}%",
+                "-" if not panels["v3"] else f"{panels['v3'].get(Severity.CRITICAL, 0):.0f}%",
+                f"{panels['pv3'].get(Severity.CRITICAL, 0):.0f}%",
+            ]
+        )
+    table = render_table(
+        ["Year", "v2 High", "v3 Critical", "pv3 Critical"], rows, title="Figure 3"
+    )
+
+    early_years = [y for y in yearly if y <= 2012]
+    v3_covered_early = [y for y in early_years if yearly[y]["v3"]]
+    pv3_covered_early = [y for y in early_years if yearly[y]["pv3"]]
+
+    report = ExperimentReport(
+        "Figure 3", "is assigned v3 usable for historical analysis?"
+    )
+    report.add(
+        "assigned v3 sparse before 2013",
+        "<= 35 CVEs/yr",
+        f"{len(v3_covered_early)}/{len(early_years)} early years have any",
+        len(v3_covered_early) <= len(early_years),
+    )
+    report.add(
+        "pv3 covers every year",
+        "all years",
+        f"{len(pv3_covered_early)}/{len(early_years)} early years",
+        len(pv3_covered_early) == len(early_years),
+    )
+    early_critical = [
+        yearly[y]["pv3"].get(Severity.CRITICAL, 0.0)
+        for y in yearly
+        if y <= 2005 and yearly[y]["pv3"]
+    ]
+    late_critical = [
+        yearly[y]["pv3"].get(Severity.CRITICAL, 0.0)
+        for y in yearly
+        if y >= 2011 and yearly[y]["pv3"]
+    ]
+    declining = (sum(early_critical) / max(len(early_critical), 1)) >= (
+        sum(late_critical) / max(len(late_critical), 1)
+    ) - 8.0
+    report.add(
+        "critical share does not explode over time",
+        "declining trend",
+        f"early {sum(early_critical) / max(len(early_critical), 1):.1f}% vs "
+        f"late {sum(late_critical) / max(len(late_critical), 1):.1f}%",
+        declining,
+    )
+    emit("fig3", table + "\n\n" + report.render())
+    assert report.all_hold

@@ -1,0 +1,62 @@
+"""§4.4 — CWE prediction from description text.
+
+Paper: k-NN (k=1) over Universal-Sentence-Encoder embeddings predicts
+151 CWE classes at 65.60% accuracy — the best of the tried models, but
+"cannot be reliably used given the criticality of the application".
+The regex fix, by contrast, corrects 2,456 CVEs outright (1,732 of
+NVD-CWE-Other, ≈5-6.6% of that sentinel population).
+"""
+
+from repro.core import DescriptionClassifier, extract_cwe_fixes
+from repro.reporting import ExperimentReport, render_table
+
+
+def test_sec44_description_classifier(benchmark, bundle, rectified, emit):
+    classifier = DescriptionClassifier(algorithm="knn", k=1)
+    accuracy, n_classes = benchmark.pedantic(
+        classifier.evaluate_on_snapshot, args=(bundle.snapshot,),
+        rounds=1, iterations=1,
+    )
+
+    fixes = rectified.cwe_fixes
+    other_rate = fixes.fixed_other / max(fixes.total_other, 1)
+
+    rows = [
+        ["k-NN (k=1) accuracy", f"{accuracy * 100:.1f}%"],
+        ["distinct CWE classes", n_classes],
+        ["regex fixes (total)", fixes.n_fixed],
+        ["... of NVD-CWE-Other", fixes.fixed_other],
+        ["... of noinfo/unassigned", fixes.fixed_noinfo + fixes.fixed_unassigned],
+        ["... already labeled (extra ids)", fixes.fixed_already_labeled],
+    ]
+    table = render_table(["Measure", "Value"], rows, title="Section 4.4")
+
+    report = ExperimentReport(
+        "Section 4.4", "can descriptions recover vulnerability types?"
+    )
+    report.add(
+        "many target classes",
+        "151",
+        str(n_classes),
+        n_classes >= 60,
+    )
+    report.add(
+        "k-NN well above chance, below deployable",
+        "65.6%",
+        f"{accuracy * 100:.1f}%",
+        0.35 <= accuracy <= 0.95,
+    )
+    report.add(
+        "regex fix recovers a meaningful slice of NVD-CWE-Other",
+        "6.6% (1732/26312)",
+        f"{other_rate * 100:.1f}% ({fixes.fixed_other}/{fixes.total_other})",
+        0.02 <= other_rate <= 0.15,
+    )
+    report.add(
+        "most fixes come from the Other sentinel",
+        "1732 of 2456",
+        f"{fixes.fixed_other} of {fixes.n_fixed}",
+        fixes.fixed_other >= fixes.n_fixed * 0.4,
+    )
+    emit("sec44", table + "\n\n" + report.render())
+    assert report.all_hold

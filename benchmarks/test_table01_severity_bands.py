@@ -1,0 +1,42 @@
+"""Table 1 — CVSS severity band thresholds."""
+
+import numpy as np
+
+from repro.cvss import Severity, severity_v2, severity_v3
+from repro.reporting import ExperimentReport, render_table
+
+
+def test_table01_severity_bands(benchmark, emit):
+    scores = np.round(np.linspace(0.0, 10.0, 101), 1)
+
+    def band_everything():
+        return [(severity_v2(s), severity_v3(s)) for s in scores]
+
+    bands = benchmark(band_everything)
+
+    rows = [
+        ["None", "-", "-", "0.0"],
+        ["Low", "L", "0.0-3.9", "0.1-3.9"],
+        ["Medium", "M", "4.0-6.9", "4.0-6.9"],
+        ["High", "H", "7.0-10.0", "7.0-8.9"],
+        ["Critical", "C", "-", "9.0-10.0"],
+    ]
+    table = render_table(["Label", "Abbrev", "v2", "v3"], rows, title="Table 1")
+
+    report = ExperimentReport("Table 1", "CVSS severity level thresholds")
+    v2_low = all(v2 is Severity.LOW for s, (v2, _) in zip(scores, bands) if s <= 3.9)
+    v3_critical = all(
+        v3 is Severity.CRITICAL for s, (_, v3) in zip(scores, bands) if s >= 9.0
+    )
+    report.add("v2 Low band 0.0-3.9", "yes", "yes" if v2_low else "no", v2_low)
+    report.add(
+        "v3 Critical band 9.0-10.0", "yes", "yes" if v3_critical else "no", v3_critical
+    )
+    report.add(
+        "v3 adds None at 0.0",
+        "yes",
+        severity_v3(0.0).value,
+        severity_v3(0.0) is Severity.NONE,
+    )
+    emit("table01", table + "\n\n" + report.render())
+    assert report.all_hold

@@ -1,0 +1,57 @@
+"""Table 4 — ground-truth transitions from v2 to v3 severity.
+
+Paper: L→M 84.3%, M→H 49.3%, M→C 2.75%, H split ≈47.8% H / 47.2% C;
+no vulnerability moves L→C or H→L.
+"""
+
+from repro.core import transition_table
+from repro.reporting import ExperimentReport, render_table
+
+
+def render_transitions(table, title):
+    columns = ["LOW", "MEDIUM", "HIGH", "CRITICAL"]
+    rows = []
+    for v2_label in ("LOW", "MEDIUM", "HIGH"):
+        total = sum(table.get((v2_label, c), 0) for c in columns) or 1
+        row = [v2_label]
+        for column in columns:
+            count = table.get((v2_label, column), 0)
+            row.append(f"{count} ({100 * count / total:.1f}%)")
+        rows.append(row)
+    return render_table(["v2 \\ v3", *columns], rows, title=title)
+
+
+def test_table04_v2_v3_transitions(benchmark, bundle, emit):
+    dual = bundle.snapshot.with_v3()
+    v2_labels = [entry.v2_severity for entry in dual]
+    v3_labels = [entry.v3_severity for entry in dual]
+
+    table = benchmark(transition_table, v2_labels, v3_labels)
+
+    def share(v2_label, v3_label):
+        total = sum(v for (a, _), v in table.items() if a == v2_label) or 1
+        return table.get((v2_label, v3_label), 0) / total
+
+    report = ExperimentReport("Table 4", "how do severities shift v2 -> v3?")
+    report.add("no L -> C", "0", str(table.get(("LOW", "CRITICAL"), 0)),
+               table.get(("LOW", "CRITICAL"), 0) == 0)
+    report.add("no H -> L", "0", str(table.get(("HIGH", "LOW"), 0)),
+               table.get(("HIGH", "LOW"), 0) == 0)
+    report.add("L -> M dominates", "84.3%", f"{share('LOW', 'MEDIUM') * 100:.1f}%",
+               share("LOW", "MEDIUM") >= 0.5)
+    report.add("M -> H large", "49.3%", f"{share('MEDIUM', 'HIGH') * 100:.1f}%",
+               0.35 <= share("MEDIUM", "HIGH") <= 0.65)
+    report.add("M -> C small", "2.75%", f"{share('MEDIUM', 'CRITICAL') * 100:.1f}%",
+               share("MEDIUM", "CRITICAL") <= 0.10)
+    report.add(
+        "H splits H/C roughly evenly", "47.8%/47.2%",
+        f"{share('HIGH', 'HIGH') * 100:.1f}%/{share('HIGH', 'CRITICAL') * 100:.1f}%",
+        0.30 <= share("HIGH", "CRITICAL") <= 0.70,
+    )
+    emit(
+        "table04",
+        render_transitions(table, "Table 4 (ground truth)")
+        + "\n\n"
+        + report.render(),
+    )
+    assert report.all_hold

@@ -1,0 +1,42 @@
+"""Table 5 — prediction error (AE, AER) per model.
+
+Paper: CNN wins (AER 9.62%, AE 0.54); DNN second; LR close behind;
+SVR is competitive on AE but collapses on accuracy.
+"""
+
+from repro.reporting import ExperimentReport, render_table
+
+
+def test_table05_model_error(benchmark, rectified, emit):
+    engine = rectified.engine
+
+    scores = benchmark(engine.evaluate)
+
+    rows = [
+        [name.upper(), s.average_error_rate * 100, s.average_error]
+        for name, s in sorted(scores.items())
+    ]
+    table = render_table(["Algorithm", "AER (%)", "AE"], rows, title="Table 5")
+
+    report = ExperimentReport("Table 5", "which regressor predicts v3 best?")
+    neural_best = min(scores["cnn"].average_error, scores["dnn"].average_error)
+    report.add(
+        "a deep model beats SVR on AE",
+        "CNN 0.54 vs SVR 0.82",
+        f"best-NN {neural_best:.2f} vs SVR {scores['svr'].average_error:.2f}",
+        neural_best <= scores["svr"].average_error,
+    )
+    report.add(
+        "best AER magnitude",
+        "~9.6%",
+        f"{min(s.average_error_rate for s in scores.values()) * 100:.1f}%",
+        min(s.average_error_rate for s in scores.values()) <= 0.20,
+    )
+    report.add(
+        "best AE magnitude",
+        "~0.54",
+        f"{min(s.average_error for s in scores.values()):.2f}",
+        min(s.average_error for s in scores.values()) <= 1.0,
+    )
+    emit("table05", table + "\n\n" + report.render())
+    assert report.all_hold

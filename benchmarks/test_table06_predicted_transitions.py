@@ -1,0 +1,67 @@
+"""Table 6 — predicted v3 severity for the v2-only CVEs.
+
+Paper: the predicted labels skew upward — 96.4% of v2-Low CVEs become
+Medium, 60.2% of v2-Medium become High, 64.5% of v2-High become
+Critical; nearly 40% of CVEs change severity once backported.
+"""
+
+from repro.core import transition_table
+from repro.cvss import SEVERITY_ORDER
+from repro.reporting import ExperimentReport, render_table
+
+
+def test_table06_predicted_transitions(benchmark, bundle, rectified, emit):
+    v2_only = bundle.snapshot.v2_only()
+    engine = rectified.engine
+    model = rectified.report.model_used
+
+    predicted = benchmark.pedantic(
+        engine.predict_severities, args=(v2_only,), kwargs={"model": model},
+        rounds=1, iterations=1,
+    )
+    v2_labels = [entry.v2_severity for entry in v2_only]
+    table = transition_table(v2_labels, predicted)
+
+    columns = ["LOW", "MEDIUM", "HIGH", "CRITICAL"]
+    rows = []
+    for v2_label in ("LOW", "MEDIUM", "HIGH"):
+        total = sum(table.get((v2_label, c), 0) for c in columns) or 1
+        rows.append(
+            [v2_label]
+            + [
+                f"{table.get((v2_label, c), 0)} "
+                f"({100 * table.get((v2_label, c), 0) / total:.1f}%)"
+                for c in columns
+            ]
+        )
+    rendered = render_table(
+        ["v2 \\ pv3", *columns],
+        [[c.value if hasattr(c, 'value') else c for c in row] for row in rows],
+        title="Table 6 (predicted)",
+    )
+
+    def share(v2_label, v3_label):
+        total = sum(v for (a, _), v in table.items() if a == v2_label) or 1
+        return table.get((v2_label, v3_label), 0) / total
+
+    from repro.cvss import Severity
+
+    upgraded = sum(
+        v
+        for (a, b), v in table.items()
+        if SEVERITY_ORDER[Severity(b)] > SEVERITY_ORDER[Severity(a)]
+    ) / max(len(v2_only), 1)
+
+    report = ExperimentReport(
+        "Table 6", "how does backporting v3 change the severity mix?"
+    )
+    report.add("L mostly becomes M", "96.4%", f"{share('LOW', 'MEDIUM') * 100:.1f}%",
+               share("LOW", "MEDIUM") >= 0.5)
+    report.add("M -> H majority", "60.2%", f"{share('MEDIUM', 'HIGH') * 100:.1f}%",
+               share("MEDIUM", "HIGH") >= 0.35)
+    report.add("H -> C majority", "64.5%", f"{share('HIGH', 'CRITICAL') * 100:.1f}%",
+               share("HIGH", "CRITICAL") >= 0.35)
+    report.add("overall skew is upward", "~40-45% change up",
+               f"{upgraded * 100:.1f}% upgraded", upgraded >= 0.3)
+    emit("table06", rendered + "\n\n" + report.render())
+    assert report.all_hold

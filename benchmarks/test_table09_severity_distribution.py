@@ -1,0 +1,56 @@
+"""Table 9 — CVSS severity distributions over all CVEs.
+
+Paper: v2 — L 8.25%, M 54.83%, H 36.92%; predicted v3 — L 1.62%,
+M 38.30%, H 44.48%, C 15.60%.  The predicted-v3 mix skews upward.
+"""
+
+from repro.analysis import severity_distribution
+from repro.cvss import Severity
+from repro.reporting import ExperimentReport, render_table
+
+
+def test_table09_severity_distribution(benchmark, bundle, rectified, emit):
+    v2_labels = [e.v2_severity for e in bundle.snapshot if e.v2_severity]
+    pv3_labels = list(rectified.pv3_severity.values())
+
+    v2_dist = benchmark(severity_distribution, v2_labels)
+    pv3_dist = severity_distribution(pv3_labels)
+
+    rows = [
+        [
+            label.value.title(),
+            v2_dist.get(label, 0.0),
+            pv3_dist.get(label, 0.0),
+        ]
+        for label in (Severity.LOW, Severity.MEDIUM, Severity.HIGH, Severity.CRITICAL)
+    ]
+    table = render_table(["Label", "v2 (%)", "Predicted v3 (%)"], rows, title="Table 9")
+
+    report = ExperimentReport("Table 9", "what is the severity mix?")
+    report.add(
+        "v2 medium is the majority",
+        "54.83%",
+        f"{v2_dist.get(Severity.MEDIUM, 0):.1f}%",
+        40 <= v2_dist.get(Severity.MEDIUM, 0) <= 65,
+    )
+    report.add(
+        "v2 low is small",
+        "8.25%",
+        f"{v2_dist.get(Severity.LOW, 0):.1f}%",
+        v2_dist.get(Severity.LOW, 0) <= 20,
+    )
+    report.add(
+        "pv3 low shrinks below v2 low",
+        "1.62% < 8.25%",
+        f"{pv3_dist.get(Severity.LOW, 0):.1f}% < {v2_dist.get(Severity.LOW, 0):.1f}%",
+        pv3_dist.get(Severity.LOW, 0) < v2_dist.get(Severity.LOW, 0),
+    )
+    high_plus = pv3_dist.get(Severity.HIGH, 0) + pv3_dist.get(Severity.CRITICAL, 0)
+    report.add(
+        "pv3 majority is high or critical",
+        "60.08%",
+        f"{high_plus:.1f}%",
+        high_plus >= 45,
+    )
+    emit("table09", table + "\n\n" + report.render())
+    assert report.all_hold

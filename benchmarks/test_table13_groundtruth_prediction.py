@@ -1,0 +1,72 @@
+"""Table 13 — model predictions over the full ground-truth pool.
+
+Paper (Appendix A.2): predicting for all dual-scored CVEs, almost no
+mass lands in v3-Low (L→L 0.08%, M→L 0%), mirroring the ground truth
+where few CVEs stay Low.
+"""
+
+from repro.core import transition_table
+from repro.reporting import ExperimentReport, render_table
+
+
+def test_table13_groundtruth_prediction(benchmark, bundle, rectified, emit):
+    dual = bundle.snapshot.with_v3()
+    engine = rectified.engine
+    model = rectified.report.model_used
+
+    predicted = benchmark.pedantic(
+        engine.predict_severities, args=(dual,), kwargs={"model": model},
+        rounds=1, iterations=1,
+    )
+    table = transition_table([e.v2_severity for e in dual], predicted)
+
+    columns = ["LOW", "MEDIUM", "HIGH", "CRITICAL"]
+    rows = []
+    for v2_label in ("LOW", "MEDIUM", "HIGH"):
+        total = sum(
+            v for (a, _), v in table.items() if a == v2_label
+        ) or 1
+        row = [v2_label]
+        for column in columns:
+            count = sum(
+                v for (a, b), v in table.items()
+                if a == v2_label and b == column
+            )
+            row.append(f"{count} ({100 * count / total:.1f}%)")
+        rows.append(row)
+    rendered = render_table(["v2 \\ pred", *columns], rows, title="Table 13")
+
+    low_to_low = sum(
+        v for (a, b), v in table.items() if a == "LOW" and b == "LOW"
+    )
+    low_total = sum(v for (a, _), v in table.items() if a == "LOW") or 1
+    medium_to_low = sum(
+        v for (a, b), v in table.items() if a == "MEDIUM" and b == "LOW"
+    )
+    medium_total = sum(v for (a, _), v in table.items() if a == "MEDIUM") or 1
+
+    report = ExperimentReport(
+        "Table 13", "does the model reproduce ground-truth structure?"
+    )
+    report.add(
+        "little mass stays v3-Low from v2-Low",
+        "0.08%",
+        f"{100 * low_to_low / low_total:.1f}%",
+        low_to_low / low_total <= 0.5,
+    )
+    report.add(
+        "almost no v2-Medium lands v3-Low",
+        "0.00%",
+        f"{100 * medium_to_low / medium_total:.2f}%",
+        medium_to_low / medium_total <= 0.05,
+    )
+    report.add(
+        "no v2-High lands v3-Low",
+        "0",
+        str(sum(v for (a, b), v in table.items()
+                if a == "HIGH" and b == "LOW")),
+        sum(v for (a, b), v in table.items()
+            if a == "HIGH" and b == "LOW") == 0,
+    )
+    emit("table13", rendered + "\n\n" + report.render())
+    assert report.all_hold

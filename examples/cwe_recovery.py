@@ -1,0 +1,68 @@
+"""§4.4 case study: recover vulnerability types from descriptions.
+
+Shows both tools: the regex fix (applied to the database) and the
+description classifier (reported only — 65% accuracy is not enough to
+auto-apply, exactly the paper's judgement).
+
+Run:  python examples/cwe_recovery.py
+"""
+
+from repro.core import DescriptionClassifier, apply_cwe_fixes, extract_cwe_fixes
+from repro.cwe import CATALOG
+from repro.reporting import render_table
+from repro.synth import GeneratorConfig, generate
+
+
+def main() -> None:
+    bundle = generate(GeneratorConfig(n_cves=4000, seed=23))
+    snapshot = bundle.snapshot
+
+    sentinel_like = (
+        len(snapshot.missing_cwe())
+    )
+    print(
+        f"{sentinel_like} of {len(snapshot)} CVEs "
+        f"({100 * sentinel_like / len(snapshot):.1f}%) have no usable CWE label "
+        f"(paper: ≈31%)."
+    )
+
+    result = extract_cwe_fixes(snapshot)
+    rows = [
+        ["fixes recovered by the CWE-[0-9]* regex", result.n_fixed],
+        ["... were NVD-CWE-Other", result.fixed_other],
+        ["... were NVD-CWE-noinfo", result.fixed_noinfo],
+        ["... were unassigned", result.fixed_unassigned],
+        ["... added ids to labeled CVEs", result.fixed_already_labeled],
+    ]
+    print(render_table(["Regex recovery (Section 4.4)", "Count"], rows))
+
+    correct = sum(
+        1
+        for cve_id, found in result.fixes.items()
+        if bundle.truth.true_cwe[cve_id] in found
+    )
+    print(
+        f"\nGround-truth check: {correct}/{result.n_fixed} recovered labels are "
+        f"the true type (the paper's manual sample found no erroneous cases)."
+    )
+
+    fixed = apply_cwe_fixes(snapshot, result)
+    example_id = next(iter(result.fixes))
+    example = fixed[example_id]
+    entry = CATALOG.get(example.cwe_ids[0])
+    print(
+        f"\nExample: {example_id} now carries {example.cwe_ids[0]}"
+        f" ({entry.name if entry else 'unknown'})"
+    )
+
+    print("\nTraining the k-NN description classifier (paper: 65.6%, 151 classes) ...")
+    classifier = DescriptionClassifier(algorithm="knn", k=1)
+    accuracy, n_classes = classifier.evaluate_on_snapshot(snapshot)
+    print(
+        f"  accuracy {accuracy * 100:.1f}% over {n_classes} classes — useful, "
+        f"but not reliable enough to auto-apply (the paper's conclusion too)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation`` in offline
+environments that lack the ``wheel`` package (the PEP 517 editable
+path needs it; the legacy ``setup.py develop`` path does not).
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

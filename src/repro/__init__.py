@@ -1,0 +1,28 @@
+"""repro — a reproduction of "Cleaning the NVD" (Anwar et al., DSN 2021).
+
+A toolkit for assessing and rectifying data-quality issues in the
+National Vulnerability Database: disclosure-date estimation from
+reference scraping, vendor/product name consolidation, CVSS v2→v3
+severity backporting, and CWE type recovery — plus the substrates the
+study needs (CVSS calculators, CPE naming, a CWE catalog, an NVD data
+model, a numpy ML stack, per-domain web crawlers) and a deterministic
+synthetic NVD with known ground truth for end-to-end evaluation.
+
+Quick start::
+
+    from repro.synth import generate, GeneratorConfig
+    from repro.core import clean, from_ground_truth, product_oracle_from_truth
+
+    bundle = generate(GeneratorConfig(n_cves=5000))
+    rectified = clean(
+        bundle.snapshot,
+        bundle.web,
+        from_ground_truth(bundle.truth.vendor_map),
+        product_oracle_from_truth(bundle.truth.product_map),
+    )
+    print(rectified.report)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

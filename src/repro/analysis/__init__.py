@@ -1,0 +1,34 @@
+"""Case-study analyses over original and rectified NVD data (§5)."""
+
+from repro.analysis.disclosures import (
+    DateActivity,
+    day_of_week_counts,
+    top_dates,
+)
+from repro.analysis.lag import average_lag_by_v3_severity, lag_within
+from repro.analysis.severity_dist import (
+    severity_distribution,
+    yearly_severity_distributions,
+)
+from repro.analysis.types import top_types_by_severity
+from repro.analysis.vendors_top import (
+    VendorRankings,
+    mislabel_severity_breakdown,
+    sample_mislabeled_cves,
+    top_vendor_rankings,
+)
+
+__all__ = [
+    "DateActivity",
+    "VendorRankings",
+    "average_lag_by_v3_severity",
+    "day_of_week_counts",
+    "lag_within",
+    "mislabel_severity_breakdown",
+    "sample_mislabeled_cves",
+    "severity_distribution",
+    "top_dates",
+    "top_types_by_severity",
+    "top_vendor_rankings",
+    "yearly_severity_distributions",
+]

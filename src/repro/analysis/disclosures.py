@@ -1,0 +1,60 @@
+"""When are vulnerabilities disclosed? (§5.1, Table 8, Figure 2).
+
+Compares activity by NVD publication dates against activity by
+estimated disclosure dates.  The raw NVD dates carry database
+artifacts — most notably New Year's Eve backdating (44.8% of 2004's
+CVEs carry 12/31/04) — that disappear under estimated disclosure
+dates, which instead surface the true Monday/Tuesday disclosure skew.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+from collections import Counter
+from collections.abc import Iterable
+
+__all__ = ["DateActivity", "day_of_week_counts", "top_dates"]
+
+_WEEKDAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DateActivity:
+    """One row of Table 8."""
+
+    date: datetime.date
+    day_of_week: str
+    count: int
+    percent_of_year: float
+
+
+def top_dates(dates: Iterable[datetime.date], k: int = 10) -> list[DateActivity]:
+    """The ``k`` dates with the most vulnerabilities.
+
+    ``percent_of_year`` is the share of that calendar year's
+    vulnerabilities carried by the date (Table 8's ``%`` column).
+    """
+    dates = list(dates)
+    by_date = Counter(dates)
+    by_year = Counter(date.year for date in dates)
+    ranked = sorted(by_date.items(), key=lambda item: (-item[1], item[0]))
+    return [
+        DateActivity(
+            date=date,
+            day_of_week=_WEEKDAY_NAMES[date.weekday()],
+            count=count,
+            percent_of_year=100.0 * count / by_year[date.year],
+        )
+        for date, count in ranked[:k]
+    ]
+
+
+def day_of_week_counts(dates: Iterable[datetime.date]) -> dict[str, int]:
+    """Vulnerabilities per weekday, Sunday-first (Figure 2's x-axis)."""
+    counts = Counter(date.weekday() for date in dates)
+    ordered = ("Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat")
+    by_name = {name: 0 for name in ordered}
+    for weekday, count in counts.items():
+        by_name[_WEEKDAY_NAMES[weekday]] = count
+    return {name: by_name[name] for name in ordered}

@@ -1,0 +1,36 @@
+"""Lag-time analyses (Figure 1's CDF milestones and Figure 4).
+
+Figure 4 plots the average lag per *v3* severity level and finds it
+flat-ish (47.6-66.8 days): insertion delay is unrelated to severity.
+"""
+
+from __future__ import annotations
+
+from repro.core.dates import DisclosureEstimate
+from repro.cvss import Severity
+
+__all__ = ["average_lag_by_v3_severity", "lag_within"]
+
+
+def lag_within(estimates: dict[str, DisclosureEstimate], days: int) -> float:
+    """Fraction of CVEs with lag ≤ ``days`` (Figure 1 milestones)."""
+    if not estimates:
+        return 0.0
+    within = sum(1 for e in estimates.values() if e.lag_days <= days)
+    return within / len(estimates)
+
+
+def average_lag_by_v3_severity(
+    estimates: dict[str, DisclosureEstimate],
+    pv3_severity: dict[str, Severity],
+) -> dict[Severity, float]:
+    """Average lag in days per predicted-v3 severity (Figure 4)."""
+    sums: dict[Severity, float] = {}
+    counts: dict[Severity, int] = {}
+    for cve_id, estimate in estimates.items():
+        severity = pv3_severity.get(cve_id)
+        if severity is None:
+            continue
+        sums[severity] = sums.get(severity, 0.0) + estimate.lag_days
+        counts[severity] = counts.get(severity, 0) + 1
+    return {severity: sums[severity] / counts[severity] for severity in counts}

@@ -1,0 +1,60 @@
+"""Severity distributions (§5.2, Table 9, Figure 3).
+
+Table 9 compares the all-CVE severity mix under v2 against the
+predicted-v3 mix; Figure 3 breaks the mix down per year under three
+scoring regimes: v2, the (sparse) assigned v3, and pv3 (our predicted
+v3 applied to every CVE).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.cvss import Severity
+from repro.nvd import NvdSnapshot
+
+__all__ = ["severity_distribution", "yearly_severity_distributions"]
+
+
+def severity_distribution(labels: Iterable[Severity]) -> dict[Severity, float]:
+    """Percentage of CVEs per severity label (Table 9 columns)."""
+    counts = Counter(labels)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {label: 100.0 * count / total for label, count in counts.items()}
+
+
+def yearly_severity_distributions(
+    snapshot: NvdSnapshot,
+    pv3_severity: dict[str, Severity],
+) -> dict[int, dict[str, dict[Severity, float]]]:
+    """The Figure 3 panel data.
+
+    Returns ``{year: {"v2": dist, "v3": dist, "pv3": dist}}`` where the
+    v3 distribution covers only CVEs with an assigned v3 score (which
+    is what makes pre-2015 years unrepresentative in the raw NVD) and
+    pv3 covers every CVE the engine scored.
+    """
+    v2_by_year: dict[int, list[Severity]] = {}
+    v3_by_year: dict[int, list[Severity]] = {}
+    pv3_by_year: dict[int, list[Severity]] = {}
+    for entry in snapshot:
+        year = entry.published.year
+        if entry.v2_severity is not None:
+            v2_by_year.setdefault(year, []).append(entry.v2_severity)
+        if entry.v3_severity is not None:
+            v3_by_year.setdefault(year, []).append(entry.v3_severity)
+        predicted = pv3_severity.get(entry.cve_id)
+        if predicted is not None:
+            pv3_by_year.setdefault(year, []).append(predicted)
+    years = sorted(set(v2_by_year) | set(v3_by_year) | set(pv3_by_year))
+    return {
+        year: {
+            "v2": severity_distribution(v2_by_year.get(year, ())),
+            "v3": severity_distribution(v3_by_year.get(year, ())),
+            "pv3": severity_distribution(pv3_by_year.get(year, ())),
+        }
+        for year in years
+    }

@@ -1,0 +1,41 @@
+"""Which vulnerability type has the most critical CVEs? (§5.3, Table 10).
+
+Joins the CWE field (optionally with the §4.4 corrections applied)
+against severity labels from any of the three regimes (v2, assigned
+v3, predicted v3) and ranks types by the number of CVEs at a given
+severity level.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cvss import Severity
+from repro.cwe import is_sentinel
+from repro.nvd import NvdSnapshot
+
+__all__ = ["top_types_by_severity"]
+
+
+def top_types_by_severity(
+    snapshot: NvdSnapshot,
+    severity_of: dict[str, Severity],
+    level: Severity,
+    k: int = 10,
+) -> list[tuple[str, int]]:
+    """The ``k`` CWE types with the most CVEs at ``level``.
+
+    ``severity_of`` maps CVE id → severity under the regime being
+    studied (pass ``{e.cve_id: e.v2_severity ...}`` for v2, the
+    engine's predictions for pv3, ...).  Sentinel CWE labels are
+    excluded — they are "missing data", not a type.
+    """
+    counts: Counter[str] = Counter()
+    for entry in snapshot:
+        severity = severity_of.get(entry.cve_id)
+        if severity != level:
+            continue
+        for cwe_id in entry.cwe_ids:
+            if not is_sentinel(cwe_id):
+                counts[cwe_id] += 1
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:k]

@@ -1,0 +1,103 @@
+"""Vendor-centric case studies (§5.4, Tables 11, 12, 16).
+
+Table 11 ranks vendors by associated CVEs and by affected products,
+before and after name corrections.  Table 12 breaks the CVEs whose
+vendor/product labels were corrected down by severity — showing that
+mislabeled CVEs are not ignorable low-severity noise.  Table 16
+samples corrected CVEs belonging to well-known vendors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cvss import Severity
+from repro.nvd import CveEntry, NvdSnapshot
+
+__all__ = [
+    "VendorRankings",
+    "mislabel_severity_breakdown",
+    "sample_mislabeled_cves",
+    "top_vendor_rankings",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VendorRankings:
+    """Table 11: top vendors by CVE count and by product count."""
+
+    #: (vendor, count, percent of all CVEs) ordered by count.
+    by_cves: list[tuple[str, int, float]]
+    #: (vendor, count, percent of all products) ordered by count.
+    by_products: list[tuple[str, int, float]]
+
+
+def top_vendor_rankings(snapshot: NvdSnapshot, k: int = 10) -> VendorRankings:
+    """Rank vendors by associated CVEs and by distinct products."""
+    cve_counts = snapshot.vendor_cve_counts()
+    total_cves = len(snapshot)
+    by_cves = [
+        (vendor, count, 100.0 * count / total_cves)
+        for vendor, count in sorted(
+            cve_counts.items(), key=lambda item: (-item[1], item[0])
+        )[:k]
+    ]
+    product_counts = snapshot.vendor_product_counts()
+    total_products = sum(product_counts.values())
+    by_products = [
+        (vendor, count, 100.0 * count / total_products)
+        for vendor, count in sorted(
+            product_counts.items(), key=lambda item: (-item[1], item[0])
+        )[:k]
+    ]
+    return VendorRankings(by_cves=by_cves, by_products=by_products)
+
+
+def mislabel_severity_breakdown(
+    mislabeled_cve_ids: set[str],
+    snapshot: NvdSnapshot,
+    pv3_severity: dict[str, Severity],
+) -> dict[str, dict[Severity, int]]:
+    """Table 12: corrected CVEs by severity under v2 and predicted v3.
+
+    Returns ``{"v2": {severity: count}, "pv3": {severity: count}}``.
+    """
+    v2_counts: dict[Severity, int] = {}
+    pv3_counts: dict[Severity, int] = {}
+    for cve_id in mislabeled_cve_ids:
+        entry = snapshot.get(cve_id)
+        if entry is None:
+            continue
+        if entry.v2_severity is not None:
+            v2_counts[entry.v2_severity] = v2_counts.get(entry.v2_severity, 0) + 1
+        predicted = pv3_severity.get(cve_id)
+        if predicted is not None:
+            pv3_counts[predicted] = pv3_counts.get(predicted, 0) + 1
+    return {"v2": v2_counts, "pv3": pv3_counts}
+
+
+def sample_mislabeled_cves(
+    mislabeled_cve_ids: set[str],
+    snapshot: NvdSnapshot,
+    k: int = 10,
+    min_vendor_cves: int = 20,
+) -> list[CveEntry]:
+    """Table 16: corrected CVEs from well-known vendors.
+
+    "Well-known" is operationalised as the (mislabeled) vendor's
+    canonical spelling holding at least ``min_vendor_cves`` CVEs.
+    Sorted by severity (highest first) then CVE id for determinism.
+    """
+    cve_counts = snapshot.vendor_cve_counts()
+    candidates = []
+    for cve_id in sorted(mislabeled_cve_ids):
+        entry = snapshot.get(cve_id)
+        if entry is None or entry.v2_severity is None:
+            continue
+        prominence = max(
+            (cve_counts.get(vendor, 0) for vendor in entry.vendors), default=0
+        )
+        if prominence >= min_vendor_cves:
+            candidates.append(entry)
+    candidates.sort(key=lambda e: (-(e.v2_score or 0.0), e.cve_id))
+    return candidates[:k]

@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro generate  --n-cves 5000 --out snapshot.json.gz
+    python -m repro stats     snapshot.json.gz
+    python -m repro fix-cwe   snapshot.json.gz --out fixed.json.gz
+    python -m repro demo      --n-cves 3000
+
+``fix-cwe`` works on any NVD JSON feed — including a real one: it
+applies the §4.4 ``CWE-[0-9]*`` recovery and rewrites the feed.
+``demo`` runs the whole pipeline against a synthetic snapshot (the
+other fixers need the web corpus / analyst oracles the synthetic
+bundle provides) and prints the cleaning report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core import (
+    EngineConfig,
+    apply_cwe_fixes,
+    clean,
+    extract_cwe_fixes,
+    from_ground_truth,
+    product_oracle_from_truth,
+)
+from repro.nvd import NvdSnapshot, load_feed, save_feed
+from repro.reporting import render_table
+from repro.synth import GeneratorConfig, generate
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    bundle = generate(GeneratorConfig(n_cves=args.n_cves, seed=args.seed))
+    save_feed(bundle.snapshot.entries, args.out)
+    print(f"wrote {len(bundle.snapshot)} CVEs to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    snapshot = NvdSnapshot(load_feed(args.feed))
+    stats = snapshot.stats()
+    rows = [
+        ["CVEs", stats.n_cves],
+        ["vendors", stats.n_vendors],
+        ["products", stats.n_products],
+        ["CWE types (concrete)", stats.n_cwe_types],
+        ["with CVSS v2", stats.n_with_v2],
+        ["with CVSS v3", stats.n_with_v3],
+        ["reference URLs", stats.n_references],
+        ["year range", f"{stats.year_range[0]}-{stats.year_range[1]}"],
+    ]
+    print(render_table(["Snapshot statistic", "Value"], rows, title=str(args.feed)))
+    return 0
+
+
+def _cmd_fix_cwe(args: argparse.Namespace) -> int:
+    snapshot = NvdSnapshot(load_feed(args.feed))
+    result = extract_cwe_fixes(snapshot)
+    fixed = apply_cwe_fixes(snapshot, result)
+    save_feed(fixed.entries, args.out)
+    rows = [
+        ["CVEs scanned", len(snapshot)],
+        ["CWE labels recovered", result.n_fixed],
+        ["... were NVD-CWE-Other", result.fixed_other],
+        ["... were NVD-CWE-noinfo", result.fixed_noinfo],
+        ["... were unassigned", result.fixed_unassigned],
+        ["... extended concrete labels", result.fixed_already_labeled],
+    ]
+    print(render_table(["CWE recovery (§4.4)", "Count"], rows))
+    print(f"wrote corrected feed to {args.out}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    bundle = generate(GeneratorConfig(n_cves=args.n_cves, seed=args.seed))
+    rectified = clean(
+        bundle.snapshot,
+        bundle.web,
+        from_ground_truth(bundle.truth.vendor_map),
+        product_oracle_from_truth(bundle.truth.product_map),
+        engine_config=EngineConfig(epochs=args.epochs, models=("lr", "dnn")),
+    )
+    report = rectified.report
+    rows = [
+        ["CVEs processed", report.n_cves],
+        ["publication dates improved", report.n_improved_dates],
+        ["vendor names impacted", report.n_vendor_names_impacted],
+        ["product names impacted", report.n_product_names_impacted],
+        ["v3 scores backported", report.n_v3_predicted],
+        ["CWE labels recovered", report.n_cwe_fixed],
+        ["prediction model", report.model_used.upper()],
+    ]
+    print(render_table(["Cleaning report", "Value"], rows))
+    if args.out:
+        save_feed(rectified.snapshot.entries, args.out)
+        print(f"wrote rectified feed to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cleaning-the-NVD reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("generate", help="write a synthetic NVD feed")
+    cmd.add_argument("--n-cves", type=int, default=5000)
+    cmd.add_argument("--seed", type=int, default=2018)
+    cmd.add_argument("--out", required=True)
+    cmd.set_defaults(func=_cmd_generate)
+
+    cmd = commands.add_parser("stats", help="summarise a feed file")
+    cmd.add_argument("feed")
+    cmd.set_defaults(func=_cmd_stats)
+
+    cmd = commands.add_parser(
+        "fix-cwe", help="apply the CWE-id recovery to a feed (works on real feeds)"
+    )
+    cmd.add_argument("feed")
+    cmd.add_argument("--out", required=True)
+    cmd.set_defaults(func=_cmd_fix_cwe)
+
+    cmd = commands.add_parser("demo", help="run the full pipeline on synthetic data")
+    cmd.add_argument("--n-cves", type=int, default=3000)
+    cmd.add_argument("--seed", type=int, default=2018)
+    cmd.add_argument("--epochs", type=int, default=10)
+    cmd.add_argument("--out", default=None)
+    cmd.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""The paper's primary contribution: the NVD cleaning pipeline.
+
+Four field-specific fixers plus an orchestrator:
+
+- :mod:`repro.core.dates` — estimated disclosure dates from reference
+  URL scraping (§4.1);
+- :mod:`repro.core.vendors` — vendor-name consolidation via the
+  heuristic + manual-confirmation workflow (§4.2);
+- :mod:`repro.core.products` — product-name consolidation (§4.2);
+- :mod:`repro.core.severity` — the CVSS v2→v3 prediction engine
+  (§4.3);
+- :mod:`repro.core.cwefix` — CWE-id recovery from descriptions and the
+  description classifier (§4.4);
+- :mod:`repro.core.pipeline` — end-to-end rectification producing an
+  improved snapshot.
+"""
+
+from repro.core.dates import (
+    DisclosureEstimate,
+    estimate_all,
+    estimate_disclosure,
+    improvement_by_severity,
+    lag_cdf,
+)
+from repro.core.products import (
+    ProductAnalysis,
+    analyze_products,
+    apply_product_mapping,
+)
+from repro.core.severity import (
+    EngineConfig,
+    SeverityPredictionEngine,
+    transition_table,
+    v2_features,
+)
+from repro.core.cwefix import (
+    CweFixResult,
+    DescriptionClassifier,
+    apply_cwe_fixes,
+    extract_cwe_fixes,
+)
+from repro.core.oracles import (
+    from_ground_truth,
+    heuristic_product_confirm,
+    heuristic_vendor_confirm,
+    product_oracle_from_truth,
+)
+from repro.core.vendors import (
+    PairFeatures,
+    VendorAnalysis,
+    analyze_vendors,
+    apply_vendor_mapping,
+)
+from repro.core.pipeline import CleaningReport, RectifiedNvd, clean
+
+__all__ = [
+    "CleaningReport",
+    "CweFixResult",
+    "DescriptionClassifier",
+    "DisclosureEstimate",
+    "EngineConfig",
+    "PairFeatures",
+    "ProductAnalysis",
+    "RectifiedNvd",
+    "SeverityPredictionEngine",
+    "VendorAnalysis",
+    "analyze_products",
+    "analyze_vendors",
+    "apply_cwe_fixes",
+    "apply_product_mapping",
+    "apply_vendor_mapping",
+    "clean",
+    "estimate_all",
+    "estimate_disclosure",
+    "extract_cwe_fixes",
+    "from_ground_truth",
+    "heuristic_product_confirm",
+    "heuristic_vendor_confirm",
+    "improvement_by_severity",
+    "lag_cdf",
+    "product_oracle_from_truth",
+    "transition_table",
+    "v2_features",
+]

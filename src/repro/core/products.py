@@ -1,0 +1,214 @@
+"""Product-name inconsistency detection and consolidation (§4.2).
+
+After vendor consolidation, likely-matching product names are
+identified *within* each (consolidated) vendor using two heuristics —
+identical tokenizations (internet-explorer / internet_explorer /
+"internet explorer") and abbreviation (internet-explorer / ie) — plus a
+bounded-edit-distance pass for human typos (tbe_banner_engine /
+the_banner_engine), each followed by confirmation.  Substring
+heuristics are deliberately *not* used: the paper found they flag far
+too many false pairs for products (e.g. cisco's ucs-e160dp-m1_firmware
+vs ucs-e140dp-m1_firmware differ by one character yet are different
+products — the confirmation step must reject those).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.nvd import CveEntry, NvdSnapshot
+from repro.synth.names import abbreviate, tokenize_name
+
+__all__ = [
+    "ProductAnalysis",
+    "analyze_products",
+    "apply_product_mapping",
+    "edit_distance",
+    "product_candidate_pairs",
+]
+
+ConfirmOracle = Callable[[str, str, str], bool]  # (vendor, name_a, name_b)
+
+
+def edit_distance(a: str, b: str, cap: int = 3) -> int:
+    """Levenshtein distance with an early-exit ``cap``.
+
+    Returns ``cap + 1`` as soon as the distance provably exceeds the
+    cap, which keeps the pairwise pass cheap.
+    """
+    if abs(len(a) - len(b)) > cap:
+        return cap + 1
+    previous = list(range(len(b) + 1))
+    for i in range(1, len(a) + 1):
+        current = [i] + [0] * len(b)
+        best = current[0]
+        for j in range(1, len(b) + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost
+            )
+            best = min(best, current[j])
+        if best > cap:
+            return cap + 1
+        previous = current
+    return min(previous[len(b)], cap + 1)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ProductPair:
+    """A candidate product-name pair under one vendor."""
+
+    vendor: str
+    name_a: str
+    name_b: str
+    heuristic: str  # "tokens", "abbreviation", or "edit-distance"
+
+
+@dataclasses.dataclass
+class ProductAnalysis:
+    """Everything §4.2 produces for products."""
+
+    candidates: list[ProductPair]
+    confirmed: list[ProductPair]
+    #: (vendor, inconsistent product) → canonical product.
+    mapping: dict[tuple[str, str], str]
+    n_products: int
+
+    @property
+    def n_impacted_names(self) -> int:
+        names = {(vendor, name) for (vendor, name) in self.mapping}
+        names.update((vendor, canonical) for (vendor, _), canonical in self.mapping.items())
+        return len(names)
+
+    @property
+    def n_vendors_affected(self) -> int:
+        """Vendors with at least one inconsistent product (Table 3)."""
+        return len({vendor for vendor, _ in self.mapping})
+
+
+def product_candidate_pairs(
+    products_by_vendor: dict[str, set[str]],
+    edit_distance_cap: int = 1,
+) -> list[ProductPair]:
+    """Generate candidate product pairs per vendor.
+
+    Heuristic 1: identical token sequences.  Heuristic 2: one name is
+    the abbreviation (first characters) of the other's tokens.
+    Heuristic 3: edit distance ≤ ``edit_distance_cap`` (human typos).
+    """
+    pairs: list[ProductPair] = []
+    seen: set[tuple[str, str, str]] = set()
+
+    def add(vendor: str, a: str, b: str, heuristic: str) -> None:
+        key = (vendor, a, b) if a < b else (vendor, b, a)
+        if a != b and key not in seen:
+            seen.add(key)
+            pairs.append(ProductPair(vendor, key[1], key[2], heuristic))
+
+    for vendor, products in products_by_vendor.items():
+        ordered = sorted(products)
+        by_tokens: dict[tuple[str, ...], list[str]] = {}
+        by_abbrev: dict[str, list[str]] = {}
+        for product in ordered:
+            tokens = tokenize_name(product)
+            if tokens:
+                by_tokens.setdefault(tokens, []).append(product)
+            if len(tokens) >= 2:
+                by_abbrev.setdefault(abbreviate(product), []).append(product)
+        for group in by_tokens.values():
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    add(vendor, a, b, "tokens")
+        for product in ordered:
+            for expanded in by_abbrev.get(product, ()):
+                add(vendor, product, expanded, "abbreviation")
+        # Bounded edit distance within the vendor (vendors hold at most
+        # a few thousand products, so the quadratic pass stays small).
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                if abs(len(a) - len(b)) > edit_distance_cap:
+                    continue
+                if edit_distance(a, b, cap=edit_distance_cap) <= edit_distance_cap:
+                    add(vendor, a, b, "edit-distance")
+    return pairs
+
+
+def analyze_products(
+    snapshot: NvdSnapshot,
+    confirm: ConfirmOracle,
+    edit_distance_cap: int = 1,
+) -> ProductAnalysis:
+    """Run the §4.2 product workflow (post vendor consolidation)."""
+    products_by_vendor: dict[str, set[str]] = {}
+    for entry in snapshot:
+        for vendor, product in entry.vendor_products():
+            products_by_vendor.setdefault(vendor, set()).add(product)
+    candidates = product_candidate_pairs(
+        products_by_vendor, edit_distance_cap=edit_distance_cap
+    )
+    confirmed = [
+        pair for pair in candidates if confirm(pair.vendor, pair.name_a, pair.name_b)
+    ]
+
+    cve_counts = snapshot.product_cve_counts()
+    # Group per vendor with union-find over confirmed pairs.
+    parent: dict[tuple[str, str], tuple[str, str]] = {}
+
+    def find(item: tuple[str, str]) -> tuple[str, str]:
+        parent.setdefault(item, item)
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    for pair in confirmed:
+        a = (pair.vendor, pair.name_a)
+        b = (pair.vendor, pair.name_b)
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    members: dict[tuple[str, str], list[tuple[str, str]]] = {}
+    for pair in confirmed:
+        for key in ((pair.vendor, pair.name_a), (pair.vendor, pair.name_b)):
+            root = find(key)
+            if key not in members.setdefault(root, []):
+                members[root].append(key)
+
+    mapping: dict[tuple[str, str], str] = {}
+    for group in members.values():
+        canonical = max(group, key=lambda key: (cve_counts.get(key, 0), key[1]))
+        for key in group:
+            if key != canonical:
+                mapping[key] = canonical[1]
+    n_products = len({p for products in products_by_vendor.values() for p in products})
+    return ProductAnalysis(
+        candidates=candidates,
+        confirmed=confirmed,
+        mapping=mapping,
+        n_products=n_products,
+    )
+
+
+def apply_product_mapping(
+    snapshot: NvdSnapshot, mapping: dict[tuple[str, str], str]
+) -> NvdSnapshot:
+    """Remap inconsistent product names across a snapshot's CPEs."""
+
+    def remap(entry: CveEntry) -> CveEntry:
+        changed = False
+        new_cpes = []
+        for cpe in entry.cpes:
+            if isinstance(cpe.vendor, str) and isinstance(cpe.product, str):
+                canonical = mapping.get((cpe.vendor, cpe.product))
+                if canonical is not None:
+                    new_cpes.append(cpe.with_names(product=canonical))
+                    changed = True
+                    continue
+            new_cpes.append(cpe)
+        return entry.replace(cpes=tuple(new_cpes)) if changed else entry
+
+    return snapshot.map_entries(remap)

@@ -1,0 +1,359 @@
+"""Vendor-name inconsistency detection and consolidation (§4.2).
+
+The paper's workflow:
+
+1. generate candidate vendor-name pairs via three heuristics —
+   (a) the names share characters (misspellings, format variants,
+   abbreviations, strict substrings), (b) a product name is used as a
+   vendor name, and (c) the two vendors share a product name;
+2. manually investigate each candidate pair ("matching pair" = both
+   names denote the same entity).  Here the investigation step is a
+   pluggable *confirmation oracle* — in experiments it consults the
+   synthetic ground truth, standing in for the paper's analysts;
+3. group matching names and remap every name in a group to the
+   member with the most associated CVEs.
+
+Pairwise comparison over ~19K names is infeasible, so candidates are
+*blocked*: token-identity keys, shared-product indices, vendor-name
+tries for prefixes, abbreviation lookups, and character-4-gram buckets
+for misspellings.  Table 2's pattern taxonomy (Tokens / #MP / Pref /
+PaV × longest-substring-match ≥3 or <3) is computed per pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.nvd import CveEntry, NvdSnapshot
+from repro.synth.names import abbreviate, tokenize_name
+
+__all__ = [
+    "PairFeatures",
+    "VendorAnalysis",
+    "analyze_vendors",
+    "apply_vendor_mapping",
+    "candidate_pairs",
+    "longest_common_substring",
+    "pattern_of",
+]
+
+ConfirmOracle = Callable[[str, str], bool]
+
+
+def longest_common_substring(a: str, b: str) -> int:
+    """Length of the longest common substring (Table 2's signifier)."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    best = 0
+    for i in range(1, len(a) + 1):
+        current = [0] * (len(b) + 1)
+        char_a = a[i - 1]
+        for j in range(1, len(b) + 1):
+            if char_a == b[j - 1]:
+                current[j] = previous[j - 1] + 1
+                if current[j] > best:
+                    best = current[j]
+        previous = current
+    return best
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PairFeatures:
+    """The Table 2 features of a candidate vendor-name pair."""
+
+    name_a: str
+    name_b: str
+    tokens_identical: bool
+    matching_products: int
+    is_prefix: bool
+    product_as_vendor: bool
+    lcs_length: int
+
+    @property
+    def lcs_at_least_3(self) -> bool:
+        return self.lcs_length >= 3
+
+
+def pattern_of(features: PairFeatures) -> str:
+    """Classify a pair into Table 2's column taxonomy.
+
+    Priority follows the table: token-identity is its own category;
+    otherwise the pair is labelled by its strongest signal among
+    #MP (matching products), Pref, and PaV.
+    """
+    if features.tokens_identical:
+        return "Tokens"
+    if features.product_as_vendor:
+        return "PaV"
+    if features.is_prefix:
+        return "Pref"
+    if features.matching_products == 0:
+        return "#MP=0"
+    if features.matching_products == 1:
+        return "#MP=1"
+    return "#MP>1"
+
+
+@dataclasses.dataclass
+class VendorAnalysis:
+    """Everything §4.2 produces for vendors."""
+
+    #: all candidate pairs with their features ("possible" pairs).
+    candidates: list[PairFeatures]
+    #: the subset confirmed as matching by the oracle.
+    confirmed: list[PairFeatures]
+    #: inconsistent name → canonical name (most-CVEs member).
+    mapping: dict[str, str]
+    #: number of distinct vendor names before consolidation.
+    n_vendors: int
+
+    @property
+    def n_impacted_names(self) -> int:
+        """Distinct names involved in a confirmed inconsistency."""
+        names = set(self.mapping)
+        names.update(self.mapping.values())
+        return len(names)
+
+    @property
+    def n_consistent_names(self) -> int:
+        """Canonical names that inconsistent names map onto."""
+        return len(set(self.mapping.values()))
+
+    def pattern_table(self) -> dict[tuple[str, str, str], int]:
+        """Table 2 cell counts.
+
+        Keys are ``(row, lcs_band, pattern)`` with row in
+        {"possible", "confirmed"} and lcs_band in {">=3", "<3"}.
+        """
+        table: dict[tuple[str, str, str], int] = {}
+        for row, pairs in (("possible", self.candidates), ("confirmed", self.confirmed)):
+            for features in pairs:
+                band = ">=3" if features.lcs_at_least_3 else "<3"
+                key = (row, band, pattern_of(features))
+                table[key] = table.get(key, 0) + 1
+        return table
+
+
+def _vendor_products(snapshot: NvdSnapshot) -> dict[str, set[str]]:
+    products: dict[str, set[str]] = {}
+    for entry in snapshot:
+        for vendor, product in entry.vendor_products():
+            products.setdefault(vendor, set()).add(product)
+    return products
+
+
+def _char_4grams(name: str) -> set[str]:
+    stripped = "".join(char for char in name if char.isalnum())
+    if len(stripped) < 4:
+        return {stripped} if stripped else set()
+    return {stripped[i : i + 4] for i in range(len(stripped) - 3)}
+
+
+def candidate_pairs(
+    vendors: list[str],
+    vendor_products: dict[str, set[str]],
+    max_bucket: int = 60,
+) -> list[PairFeatures]:
+    """Generate candidate pairs via the §4.2 heuristics with blocking.
+
+    ``max_bucket`` caps 4-gram bucket sizes: very common substrings
+    (e.g. "soft") would otherwise produce quadratic noise — the paper
+    made the same call by dropping substring heuristics that "flagged
+    too many pairs for analysis" for products.
+    """
+    pairs: set[tuple[str, str]] = set()
+
+    def add(a: str, b: str) -> None:
+        if a != b:
+            pairs.add((a, b) if a < b else (b, a))
+
+    # Heuristic: identical token sequences (special-char variants).
+    by_tokens: dict[tuple[str, ...], list[str]] = {}
+    for vendor in vendors:
+        tokens = tokenize_name(vendor)
+        if tokens:
+            by_tokens.setdefault(tokens, []).append(vendor)
+    for group in by_tokens.values():
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                add(a, b)
+
+    # Heuristic: shared product names.
+    by_product: dict[str, list[str]] = {}
+    for vendor, products in vendor_products.items():
+        for product in products:
+            by_product.setdefault(product, []).append(vendor)
+    for group in by_product.values():
+        if len(group) > max_bucket:
+            continue
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                add(a, b)
+
+    # Heuristic: a product name used as a vendor name.
+    vendor_set = set(vendors)
+    for vendor, products in vendor_products.items():
+        for product in products:
+            if product in vendor_set:
+                add(vendor, product)
+
+    # Heuristic: abbreviation of a multi-token name.
+    by_abbrev: dict[str, list[str]] = {}
+    for vendor in vendors:
+        if len(tokenize_name(vendor)) >= 2:
+            by_abbrev.setdefault(abbreviate(vendor), []).append(vendor)
+    for vendor in vendors:
+        for expanded in by_abbrev.get(vendor, ()):
+            add(vendor, expanded)
+
+    # Heuristic: strict prefix (lynx / lynx_project) via a sorted scan.
+    ordered = sorted(vendors)
+    for i, vendor in enumerate(ordered):
+        for j in range(i + 1, len(ordered)):
+            other = ordered[j]
+            if not other.startswith(vendor):
+                break
+            if len(vendor) >= 3:
+                add(vendor, other)
+
+    # Heuristic: deletion signatures — two names sharing a
+    # one-character-deleted form are within edit distance 2, which
+    # catches missing-letter misspellings (microsoft / microsft) that
+    # gram overlap can miss when the edit sits mid-name.
+    by_deletion: dict[str, list[str]] = {}
+    for vendor in vendors:
+        if len(vendor) < 5 or len(vendor) > 24:
+            continue
+        signatures = {vendor[:i] + vendor[i + 1 :] for i in range(len(vendor))}
+        signatures.add(vendor)
+        for signature in signatures:
+            by_deletion.setdefault(signature, []).append(vendor)
+    for group in by_deletion.values():
+        if len(group) > max_bucket:
+            continue
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                add(a, b)
+
+    # Heuristic: shared rare 4-grams (misspellings, char edits).
+    by_gram: dict[str, list[str]] = {}
+    for vendor in vendors:
+        for gram in _char_4grams(vendor):
+            by_gram.setdefault(gram, []).append(vendor)
+    shared_counts: dict[tuple[str, str], int] = {}
+    for gram, group in by_gram.items():
+        if len(group) > max_bucket:
+            continue
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                key = (a, b) if a < b else (b, a)
+                shared_counts[key] = shared_counts.get(key, 0) + 1
+    for (a, b), shared in shared_counts.items():
+        smaller = min(len(a), len(b))
+        # Require most of the shorter name's grams to be shared, so
+        # "microsoft"/"microsft" qualifies but "netgate"/"netgear"
+        # needs other evidence.
+        if smaller >= 5 and shared >= max(1, smaller - 5):
+            add(a, b)
+
+    features: list[PairFeatures] = []
+    for a, b in sorted(pairs):
+        products_a = vendor_products.get(a, set())
+        products_b = vendor_products.get(b, set())
+        features.append(
+            PairFeatures(
+                name_a=a,
+                name_b=b,
+                tokens_identical=tokenize_name(a) == tokenize_name(b)
+                and bool(tokenize_name(a)),
+                matching_products=len(products_a & products_b),
+                is_prefix=a.startswith(b) or b.startswith(a),
+                product_as_vendor=(a in products_b) or (b in products_a),
+                lcs_length=longest_common_substring(a, b),
+            )
+        )
+    return features
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        self.parent.setdefault(item, item)
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self.parent[root_b] = root_a
+
+
+def analyze_vendors(
+    snapshot: NvdSnapshot,
+    confirm: ConfirmOracle,
+    max_bucket: int = 60,
+) -> VendorAnalysis:
+    """Run the full §4.2 vendor workflow against a snapshot.
+
+    ``confirm`` plays the manual-investigation role: given two names it
+    answers whether they denote the same vendor.
+    """
+    vendors = snapshot.vendors()
+    vendor_products = _vendor_products(snapshot)
+    candidates = candidate_pairs(vendors, vendor_products, max_bucket=max_bucket)
+    confirmed = [
+        features
+        for features in candidates
+        if confirm(features.name_a, features.name_b)
+    ]
+
+    groups = _UnionFind()
+    for features in confirmed:
+        groups.union(features.name_a, features.name_b)
+    members: dict[str, list[str]] = {}
+    for features in confirmed:
+        for name in (features.name_a, features.name_b):
+            root = groups.find(name)
+            if name not in members.setdefault(root, []):
+                members[root].append(name)
+
+    cve_counts = snapshot.vendor_cve_counts()
+    mapping: dict[str, str] = {}
+    for group in members.values():
+        canonical = max(group, key=lambda name: (cve_counts.get(name, 0), name))
+        for name in group:
+            if name != canonical:
+                mapping[name] = canonical
+    return VendorAnalysis(
+        candidates=candidates,
+        confirmed=confirmed,
+        mapping=mapping,
+        n_vendors=len(vendors),
+    )
+
+
+def apply_vendor_mapping(
+    snapshot: NvdSnapshot, mapping: dict[str, str]
+) -> NvdSnapshot:
+    """Remap inconsistent vendor names across a snapshot's CPEs."""
+
+    def remap(entry: CveEntry) -> CveEntry:
+        changed = False
+        new_cpes = []
+        for cpe in entry.cpes:
+            if isinstance(cpe.vendor, str) and cpe.vendor in mapping:
+                new_cpes.append(cpe.with_names(vendor=mapping[cpe.vendor]))
+                changed = True
+            else:
+                new_cpes.append(cpe)
+        return entry.replace(cpes=tuple(new_cpes)) if changed else entry
+
+    return snapshot.map_entries(remap)

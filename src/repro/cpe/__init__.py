@@ -1,0 +1,36 @@
+"""Common Platform Enumeration (CPE) substrate.
+
+The NVD identifies affected vendors and products through CPE names.
+The paper's vendor/product consolidation (§4.2) operates on the vendor
+and product components of these names, and the discussion (§6) notes
+the fix feeds back into "the generation of CPE URI (both 2.2 and 2.3)".
+
+This package implements the Well-Formed Name (WFN) model plus binding
+to/from CPE 2.2 URIs (``cpe:/a:vendor:product:version``) and CPE 2.3
+formatted strings (``cpe:2.3:a:vendor:product:version:...``).
+"""
+
+from repro.cpe.wfn import (
+    ANY,
+    NA,
+    CpeName,
+    bind_to_formatted_string,
+    bind_to_uri,
+    parse_cpe,
+    parse_formatted_string,
+    parse_uri,
+)
+from repro.cpe.matching import cpe_match, is_subset
+
+__all__ = [
+    "ANY",
+    "NA",
+    "CpeName",
+    "bind_to_formatted_string",
+    "bind_to_uri",
+    "parse_cpe",
+    "parse_formatted_string",
+    "parse_uri",
+    "cpe_match",
+    "is_subset",
+]

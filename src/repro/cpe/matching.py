@@ -1,0 +1,47 @@
+"""CPE name matching (NIST IR 7696 subset).
+
+Matching answers "does this CPE name apply to that platform?", the
+operation downstream security tools perform against NVD applicability
+statements.  We implement attribute-wise matching with the logical
+values and ``*`` wildcards that occur in NVD data.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+
+from repro.cpe.wfn import ANY, NA, Attribute, CpeName
+
+
+def _attribute_match(source: Attribute, target: Attribute) -> bool:
+    """True when ``source`` (pattern) matches ``target`` (candidate)."""
+    if source is ANY:
+        return True
+    if source is NA:
+        return target is NA
+    if target is ANY:
+        # A concrete source cannot be judged a superset of "any".
+        return False
+    if target is NA:
+        return False
+    if "*" in source or "?" in source:
+        return fnmatch.fnmatchcase(target, source)
+    return source == target
+
+
+def cpe_match(pattern: CpeName, candidate: CpeName) -> bool:
+    """True when every attribute of ``pattern`` matches ``candidate``."""
+    if pattern.part != candidate.part:
+        return False
+    pattern_attrs = pattern.attributes()
+    candidate_attrs = candidate.attributes()
+    return all(
+        _attribute_match(pattern_attrs[attr], candidate_attrs[attr])
+        for attr in pattern_attrs
+        if attr != "part"
+    )
+
+
+def is_subset(narrow: CpeName, broad: CpeName) -> bool:
+    """True when every platform matched by ``narrow`` is matched by ``broad``."""
+    return cpe_match(broad, narrow)

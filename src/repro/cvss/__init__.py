@@ -1,0 +1,50 @@
+"""CVSS scoring substrate.
+
+Implements the Common Vulnerability Scoring System versions 2 and 3
+(base, temporal, and environmental equations) from the published FIRST
+specifications, together with vector-string parsing/formatting and the
+severity banding of Table 1 of the paper.
+
+The paper's entire severity study (§4.3) rests on the relationship
+between v2 and v3 scores; computing both from first principles lets the
+synthetic ground truth carry *real* CVSS relationships rather than
+made-up numbers.
+"""
+
+from repro.cvss.severity import (
+    SEVERITY_ORDER,
+    Severity,
+    severity_v2,
+    severity_v3,
+)
+from repro.cvss.v2 import (
+    CvssV2Metrics,
+    CvssV2Scores,
+    parse_v2_vector,
+    score_v2,
+    v2_vector_string,
+)
+from repro.cvss.v3 import (
+    CvssV3Metrics,
+    CvssV3Scores,
+    parse_v3_vector,
+    score_v3,
+    v3_vector_string,
+)
+
+__all__ = [
+    "Severity",
+    "SEVERITY_ORDER",
+    "severity_v2",
+    "severity_v3",
+    "CvssV2Metrics",
+    "CvssV2Scores",
+    "parse_v2_vector",
+    "score_v2",
+    "v2_vector_string",
+    "CvssV3Metrics",
+    "CvssV3Scores",
+    "parse_v3_vector",
+    "score_v3",
+    "v3_vector_string",
+]

@@ -1,0 +1,76 @@
+"""Severity banding for CVSS scores (Table 1 of the paper).
+
+v2 has three qualitative levels (Low/Medium/High); v3 adds None and
+Critical.  The paper's Tables 4, 6, 9, 10, 12 and Figures 3, 4 are all
+phrased in terms of these bands.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Severity(str, enum.Enum):
+    """Qualitative severity label shared by both CVSS versions."""
+
+    NONE = "NONE"
+    LOW = "LOW"
+    MEDIUM = "MEDIUM"
+    HIGH = "HIGH"
+    CRITICAL = "CRITICAL"
+
+    @property
+    def abbreviation(self) -> str:
+        """One-letter abbreviation used in the paper's tables."""
+        return {"NONE": "-", "LOW": "L", "MEDIUM": "M", "HIGH": "H", "CRITICAL": "C"}[
+            self.value
+        ]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Ordering used when comparing severities (e.g. "did severity increase?").
+SEVERITY_ORDER: dict[Severity, int] = {
+    Severity.NONE: 0,
+    Severity.LOW: 1,
+    Severity.MEDIUM: 2,
+    Severity.HIGH: 3,
+    Severity.CRITICAL: 4,
+}
+
+
+def severity_v2(score: float) -> Severity:
+    """Map a CVSS v2 base score to its severity band.
+
+    Table 1: Low 0.0-3.9, Medium 4.0-6.9, High 7.0-10.0.
+    """
+    _check_range(score)
+    if score < 4.0:
+        return Severity.LOW
+    if score < 7.0:
+        return Severity.MEDIUM
+    return Severity.HIGH
+
+
+def severity_v3(score: float) -> Severity:
+    """Map a CVSS v3 base score to its severity band.
+
+    Table 1: None 0.0, Low 0.1-3.9, Medium 4.0-6.9, High 7.0-8.9,
+    Critical 9.0-10.0.
+    """
+    _check_range(score)
+    if score == 0.0:
+        return Severity.NONE
+    if score < 4.0:
+        return Severity.LOW
+    if score < 7.0:
+        return Severity.MEDIUM
+    if score < 9.0:
+        return Severity.HIGH
+    return Severity.CRITICAL
+
+
+def _check_range(score: float) -> None:
+    if not 0.0 <= score <= 10.0:
+        raise ValueError(f"CVSS scores lie in [0, 10]; got {score!r}")

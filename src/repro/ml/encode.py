@@ -1,0 +1,81 @@
+"""Deterministic sentence encoder (Universal Sentence Encoder stand-in).
+
+§4.4 uses Google's pre-trained Universal Sentence Encoder to map each
+CVE description to a 1x512 vector.  The pre-trained model is not
+available offline, so we substitute a deterministic pipeline with the
+same interface and output shape:
+
+1. tokens (and token bigrams) are hashed into a sparse
+   ``hash_dim``-dimensional bag with signed hashing (feature hashing /
+   the "hashing trick"), TF-weighted and L2-normalised;
+2. a fixed seeded Gaussian random projection compresses the bag to
+   ``output_dim`` (=512) dimensions, which preserves inner products by
+   the Johnson-Lindenstrauss lemma.
+
+Texts that share vocabulary therefore land near each other — the
+property the k-NN classifier of §4.4 actually exploits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.text import preprocess
+
+__all__ = ["HashingSentenceEncoder"]
+
+
+def _stable_hash(token: str) -> int:
+    """Deterministic 64-bit hash (Python's ``hash`` is salted per run)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingSentenceEncoder:
+    """Encode sentences into fixed-size dense vectors."""
+
+    def __init__(
+        self,
+        output_dim: int = 512,
+        hash_dim: int = 4096,
+        use_bigrams: bool = True,
+        seed: int = 7,
+    ) -> None:
+        if output_dim < 1 or hash_dim < output_dim:
+            raise ValueError("need hash_dim >= output_dim >= 1")
+        self.output_dim = output_dim
+        self.hash_dim = hash_dim
+        self.use_bigrams = use_bigrams
+        rng = np.random.default_rng(seed)
+        self._projection = rng.standard_normal((hash_dim, output_dim)) / np.sqrt(
+            output_dim
+        )
+
+    def _bag(self, text: str) -> np.ndarray:
+        tokens = preprocess(text)
+        features = list(tokens)
+        if self.use_bigrams:
+            features.extend(
+                f"{first}_{second}" for first, second in zip(tokens, tokens[1:])
+            )
+        bag = np.zeros(self.hash_dim)
+        for feature in features:
+            value = _stable_hash(feature)
+            index = value % self.hash_dim
+            sign = 1.0 if (value >> 63) & 1 else -1.0
+            bag[index] += sign
+        norm = np.linalg.norm(bag)
+        return bag / norm if norm > 0 else bag
+
+    def encode(self, text: str) -> np.ndarray:
+        """Encode one sentence to a ``(output_dim,)`` vector."""
+        return self._bag(text) @ self._projection
+
+    def encode_batch(self, texts: list[str]) -> np.ndarray:
+        """Encode many sentences to a ``(n, output_dim)`` matrix."""
+        if not texts:
+            return np.empty((0, self.output_dim))
+        bags = np.stack([self._bag(text) for text in texts])
+        return bags @ self._projection

@@ -1,0 +1,76 @@
+"""k-nearest-neighbour classification.
+
+§4.4: "We observed that k-NN (k = 1) provides the best results,
+predicting 151 different types with 65.60% accuracy."  Distances are
+computed in batches so the memory footprint stays bounded for large
+description corpora.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier:
+    """Majority-vote k-NN over Euclidean (or cosine) distance."""
+
+    def __init__(self, k: int = 1, metric: str = "euclidean") -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if metric not in ("euclidean", "cosine"):
+            raise ValueError(f"unsupported metric {metric!r}")
+        self.k = k
+        self.metric = metric
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of samples")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit k-NN on an empty training set")
+        self._classes, encoded = np.unique(y, return_inverse=True)
+        self._y = encoded
+        if self.metric == "cosine":
+            norms = np.linalg.norm(x, axis=1, keepdims=True)
+            x = x / np.maximum(norms, 1e-12)
+        self._x = x
+        return self
+
+    def _distances(self, queries: np.ndarray) -> np.ndarray:
+        assert self._x is not None
+        if self.metric == "cosine":
+            norms = np.linalg.norm(queries, axis=1, keepdims=True)
+            queries = queries / np.maximum(norms, 1e-12)
+            return 1.0 - queries @ self._x.T
+        sq_q = np.sum(queries**2, axis=1)[:, None]
+        sq_x = np.sum(self._x**2, axis=1)[None, :]
+        return np.maximum(sq_q + sq_x - 2.0 * (queries @ self._x.T), 0.0)
+
+    def predict(self, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Predict the majority class among the k nearest neighbours."""
+        if self._x is None or self._y is None or self._classes is None:
+            raise RuntimeError("model is not fitted")
+        x = np.asarray(x, dtype=float)
+        k = min(self.k, self._x.shape[0])
+        n_classes = self._classes.shape[0]
+        out = np.empty(x.shape[0], dtype=int)
+        for start in range(0, x.shape[0], batch_size):
+            batch = x[start : start + batch_size]
+            distances = self._distances(batch)
+            if k == 1:
+                nearest = np.argmin(distances, axis=1)
+                out[start : start + batch.shape[0]] = self._y[nearest]
+                continue
+            nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            votes = self._y[nearest]
+            counts = np.zeros((batch.shape[0], n_classes), dtype=int)
+            for col in range(k):
+                np.add.at(counts, (np.arange(batch.shape[0]), votes[:, col]), 1)
+            out[start : start + batch.shape[0]] = np.argmax(counts, axis=1)
+        return self._classes[out]

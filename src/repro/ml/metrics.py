@@ -1,0 +1,135 @@
+"""Evaluation metrics and dataset splitting.
+
+Implements the paper's error measures (§4.3):
+
+- average error        AE  = (1/N) * sum |y_i - f(x_i)|
+- average error rate   AER = (1/N) * sum |y_i - f(x_i)| / y_i
+
+plus classification accuracy, per-class accuracy (Table 7's "by input
+class"), confusion matrices (Tables 4, 6, 13-15 are transition /
+confusion tables), and the stratified 80/20 split ("evenly distributed
+among classes").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "average_error",
+    "average_error_rate",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "stratified_split",
+]
+
+
+def average_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error between scores."""
+    actual = np.asarray(actual, dtype=float).reshape(-1)
+    predicted = np.asarray(predicted, dtype=float).reshape(-1)
+    _check_lengths(actual, predicted)
+    if actual.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(actual - predicted)))
+
+
+def average_error_rate(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean relative absolute error; samples with y=0 are skipped."""
+    actual = np.asarray(actual, dtype=float).reshape(-1)
+    predicted = np.asarray(predicted, dtype=float).reshape(-1)
+    _check_lengths(actual, predicted)
+    nonzero = actual != 0
+    if not np.any(nonzero):
+        return 0.0
+    return float(
+        np.mean(np.abs(actual[nonzero] - predicted[nonzero]) / actual[nonzero])
+    )
+
+
+def accuracy(actual: Sequence[Hashable], predicted: Sequence[Hashable]) -> float:
+    """Fraction of exact label matches."""
+    if len(actual) != len(predicted):
+        raise ValueError("label sequences must have the same length")
+    if not actual:
+        return 0.0
+    matches = sum(1 for a, p in zip(actual, predicted) if a == p)
+    return matches / len(actual)
+
+
+def per_class_accuracy(
+    groups: Sequence[Hashable],
+    actual: Sequence[Hashable],
+    predicted: Sequence[Hashable],
+) -> dict[Hashable, float]:
+    """Accuracy computed separately per group label.
+
+    Table 7 reports accuracy "by input (v2) class": the grouping key is
+    the v2 severity while actual/predicted are v3 labels.
+    """
+    if not (len(groups) == len(actual) == len(predicted)):
+        raise ValueError("all sequences must have the same length")
+    totals: dict[Hashable, int] = {}
+    hits: dict[Hashable, int] = {}
+    for group, a, p in zip(groups, actual, predicted):
+        totals[group] = totals.get(group, 0) + 1
+        if a == p:
+            hits[group] = hits.get(group, 0) + 1
+    return {group: hits.get(group, 0) / total for group, total in totals.items()}
+
+
+def confusion_matrix(
+    actual: Sequence[Hashable],
+    predicted: Sequence[Hashable],
+    labels: Sequence[Hashable],
+) -> np.ndarray:
+    """Counts[i, j] = samples with actual=labels[i], predicted=labels[j]."""
+    if len(actual) != len(predicted):
+        raise ValueError("label sequences must have the same length")
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for a, p in zip(actual, predicted):
+        if a in index and p in index:
+            matrix[index[a], index[p]] += 1
+    return matrix
+
+
+def stratified_split(
+    labels: Sequence[Hashable],
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split sample indices into train/test, stratified by label.
+
+    Mirrors §4.3: "splitting the ground truth data into 80% training
+    and 20% testing datasets evenly distributed among classes."
+    Returns (train_indices, test_indices).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    by_label: dict[Hashable, list[int]] = {}
+    for i, label in enumerate(labels):
+        by_label.setdefault(label, []).append(i)
+    train: list[int] = []
+    test: list[int] = []
+    for members in by_label.values():
+        members = np.array(members)
+        rng.shuffle(members)
+        n_test = int(round(len(members) * test_fraction))
+        # Keep at least one sample on each side when a class is tiny.
+        if len(members) > 1:
+            n_test = min(max(n_test, 1), len(members) - 1)
+        else:
+            n_test = 0
+        test.extend(members[:n_test].tolist())
+        train.extend(members[n_test:].tolist())
+    return np.array(sorted(train), dtype=int), np.array(sorted(test), dtype=int)
+
+
+def _check_lengths(actual: np.ndarray, predicted: np.ndarray) -> None:
+    if actual.shape != predicted.shape:
+        raise ValueError("actual and predicted must have the same shape")

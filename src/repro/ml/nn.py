@@ -1,0 +1,313 @@
+"""A minimal neural-network framework on numpy.
+
+Provides exactly what the paper's models need: dense and 1-D
+convolutional layers, ReLU/sigmoid activations, flattening, mean
+squared error, the Adam optimizer, and a mini-batch training loop.
+Backpropagation is hand-derived per layer; all state lives in
+:class:`Parameter` objects so optimizers are layer-agnostic.
+
+The paper's CNN applies 3x3 filters to (reshaped) feature vectors; with
+13-dimensional inputs a 1-D convolution of width 3 is the faithful
+equivalent, and the layer widths (64/64/128/128 conv + 512 dense, DNN
+128/128/256/256) are kept as published.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "Conv1D",
+    "Flatten",
+    "ReLU",
+    "Sigmoid",
+    "Sequential",
+    "MSELoss",
+    "Adam",
+    "fit",
+]
+
+
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    __slots__ = ("value", "grad")
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = value
+        self.grad = np.zeros_like(value)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+class Layer:
+    """Base class: forward caches what backward needs."""
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``.
+
+    Weights use He-uniform initialisation, suitable for the ReLU
+    activations that follow most layers here.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        scale: float = 1.0,
+    ) -> None:
+        limit = scale * np.sqrt(6.0 / in_features)
+        self.weight = Parameter(
+            rng.uniform(-limit, limit, size=(in_features, out_features))
+        )
+        self.bias = Parameter(np.zeros(out_features))
+        self._input: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._input is not None, "backward called before forward"
+        self.weight.grad += self._input.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+
+class Conv1D(Layer):
+    """1-D convolution with 'same' zero padding and stride 1.
+
+    Input shape ``(batch, length, in_channels)``; kernel shape
+    ``(kernel_size, in_channels, out_channels)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if kernel_size % 2 != 1:
+            raise ValueError("Conv1D requires an odd kernel size for 'same' padding")
+        fan_in = kernel_size * in_channels
+        limit = np.sqrt(6.0 / fan_in)
+        self.kernel_size = kernel_size
+        self.weight = Parameter(
+            rng.uniform(-limit, limit, size=(kernel_size, in_channels, out_channels))
+        )
+        self.bias = Parameter(np.zeros(out_channels))
+        self._padded: np.ndarray | None = None
+        self._input_length = 0
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        pad = self.kernel_size // 2
+        self._input_length = x.shape[1]
+        padded = np.pad(x, ((0, 0), (pad, pad), (0, 0)))
+        self._padded = padded
+        length = x.shape[1]
+        out = np.broadcast_to(
+            self.bias.value, (x.shape[0], length, self.bias.value.shape[0])
+        ).copy()
+        for offset in range(self.kernel_size):
+            out += padded[:, offset : offset + length, :] @ self.weight.value[offset]
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._padded is not None, "backward called before forward"
+        pad = self.kernel_size // 2
+        length = self._input_length
+        grad_padded = np.zeros_like(self._padded)
+        for offset in range(self.kernel_size):
+            window = self._padded[:, offset : offset + length, :]
+            self.weight.grad[offset] += np.einsum("nlc,nlo->co", window, grad)
+            grad_padded[:, offset : offset + length, :] += (
+                grad @ self.weight.value[offset].T
+            )
+        self.bias.grad += grad.sum(axis=(0, 1))
+        return grad_padded[:, pad : pad + length, :]
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._shape is not None, "backward called before forward"
+        return grad.reshape(self._shape)
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None, "backward called before forward"
+        return np.where(self._mask, grad, 0.0)
+
+
+class Sigmoid(Layer):
+    """Logistic activation, f(x) = 1 / (1 + e^-x) (§4.3)."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x, dtype=float)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        self._output = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._output is not None, "backward called before forward"
+        return grad * self._output * (1.0 - self._output)
+
+
+class Sequential(Layer):
+    """A stack of layers applied in order."""
+
+    def __init__(self, *layers: Layer) -> None:
+        self.layers = list(layers)
+
+    def parameters(self) -> list[Parameter]:
+        return [param for layer in self.layers for param in layer.parameters()]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, batch_size: int = 1024) -> np.ndarray:
+        """Forward pass in batches (no gradient bookkeeping needed)."""
+        chunks = [
+            self.forward(x[start : start + batch_size])
+            for start in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(chunks, axis=0) if chunks else np.empty((0,))
+
+
+class MSELoss:
+    """Mean squared error, 1/N * sum (y - f(x))^2 (§4.3)."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        self._diff = prediction - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        assert self._diff is not None, "backward called before forward"
+        return 2.0 * self._diff / self._diff.size
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba), lr=0.001 as in the paper."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step = 0
+        self._m = [np.zeros_like(p.value) for p in parameters]
+        self._v = [np.zeros_like(p.value) for p in parameters]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            m[...] = self.beta1 * m + (1 - self.beta1) * param.grad
+            v[...] = self.beta2 * v + (1 - self.beta2) * param.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def fit(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 100,
+    batch_size: int = 64,
+    learning_rate: float = 0.001,
+    seed: int = 0,
+    verbose: bool = False,
+) -> list[float]:
+    """Train ``model`` with MSE + Adam; returns the per-epoch losses."""
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y must have the same number of samples")
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+    loss_fn = MSELoss()
+    history: list[float] = []
+    n = x.shape[0]
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        total = 0.0
+        batches = 0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            optimizer.zero_grad()
+            prediction = model.forward(x[idx])
+            loss = loss_fn.forward(prediction, y[idx])
+            model.backward(loss_fn.backward())
+            optimizer.step()
+            total += loss
+            batches += 1
+        history.append(total / max(batches, 1))
+        if verbose:  # pragma: no cover - diagnostic output
+            print(f"epoch {epoch + 1}/{epochs}: loss={history[-1]:.5f}")
+    return history

@@ -1,0 +1,63 @@
+"""Principal Component Analysis via singular value decomposition.
+
+Appendix A.1: "PCA is a linear dimensionality reduction technique
+using the Singular Value Decomposition (SVD) of the data to project it
+to a lower-dimensional space, reducing the 13-dimensional feature
+vector to a three-dimension space."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Fit/transform PCA with explained-variance reporting."""
+
+    def __init__(self, n_components: int = 3) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be at least 1")
+        self.n_components = n_components
+        self.mean: np.ndarray | None = None
+        self.components: np.ndarray | None = None
+        self.explained_variance: np.ndarray | None = None
+        self.explained_variance_ratio: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D (samples, features)")
+        if x.shape[0] < 2:
+            raise ValueError("PCA needs at least two samples")
+        if self.n_components > min(x.shape):
+            raise ValueError(
+                f"n_components={self.n_components} exceeds "
+                f"min(n_samples, n_features)={min(x.shape)}"
+            )
+        self.mean = x.mean(axis=0)
+        centered = x - self.mean
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        variances = singular_values**2 / (x.shape[0] - 1)
+        self.components = vt[: self.n_components]
+        self.explained_variance = variances[: self.n_components]
+        total = variances.sum()
+        self.explained_variance_ratio = (
+            self.explained_variance / total if total > 0 else np.zeros(self.n_components)
+        )
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components is None or self.mean is None:
+            raise RuntimeError("PCA is not fitted")
+        return (np.asarray(x, dtype=float) - self.mean) @ self.components.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Map projected points back into the original feature space."""
+        if self.components is None or self.mean is None:
+            raise RuntimeError("PCA is not fitted")
+        return np.asarray(z, dtype=float) @ self.components + self.mean

@@ -1,0 +1,16 @@
+"""NVD substrate: CVE data model, JSON feed serialisation, snapshot store."""
+
+from repro.nvd.models import CveEntry, Reference
+from repro.nvd.feed import entries_from_feed, entries_to_feed, load_feed, save_feed
+from repro.nvd.store import NvdSnapshot, SnapshotStats
+
+__all__ = [
+    "CveEntry",
+    "Reference",
+    "NvdSnapshot",
+    "SnapshotStats",
+    "entries_from_feed",
+    "entries_to_feed",
+    "load_feed",
+    "save_feed",
+]

@@ -1,0 +1,140 @@
+"""Data model for NVD CVE entries.
+
+§3 of the paper enumerates the fields of an NVD entry: the CVE id, the
+publication date, the CWE type(s), the CVSS v2/v3 severity, the list of
+affected vendors and products (CPE), free-form descriptions, and
+optional reference URLs.  :class:`CveEntry` carries exactly those.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import re
+
+from repro.cpe import CpeName
+from repro.cvss import (
+    CvssV2Metrics,
+    CvssV3Metrics,
+    Severity,
+    score_v2,
+    score_v3,
+    severity_v2,
+    severity_v3,
+)
+
+__all__ = ["CveEntry", "Reference"]
+
+_CVE_ID_RE = re.compile(r"CVE-(\d{4})-(\d{4,})")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Reference:
+    """A reference URL attached to a CVE (advisory, bug report, ...)."""
+
+    url: str
+    tags: tuple[str, ...] = ()
+
+    @property
+    def domain(self) -> str:
+        """The registrable host of the URL (``https://a.b.c/x`` → ``a.b.c``)."""
+        without_scheme = re.sub(r"^[a-z][a-z0-9+.-]*://", "", self.url, flags=re.I)
+        host = without_scheme.split("/", 1)[0].split("?", 1)[0]
+        return host.split(":", 1)[0].lower()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CveEntry:
+    """One NVD vulnerability record."""
+
+    cve_id: str
+    published: datetime.date
+    descriptions: tuple[str, ...]
+    references: tuple[Reference, ...] = ()
+    cwe_ids: tuple[str, ...] = ()
+    cvss_v2: CvssV2Metrics | None = None
+    cvss_v3: CvssV3Metrics | None = None
+    cpes: tuple[CpeName, ...] = ()
+    modified: datetime.date | None = None
+
+    def __post_init__(self) -> None:
+        if not _CVE_ID_RE.fullmatch(self.cve_id):
+            raise ValueError(f"malformed CVE id {self.cve_id!r}")
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def year(self) -> int:
+        """The year encoded in the CVE id (not the publication year)."""
+        match = _CVE_ID_RE.fullmatch(self.cve_id)
+        assert match is not None
+        return int(match.group(1))
+
+    # -- CPE views --------------------------------------------------------
+
+    @property
+    def vendors(self) -> tuple[str, ...]:
+        """Distinct vendor names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for cpe in self.cpes:
+            if isinstance(cpe.vendor, str):
+                seen.setdefault(cpe.vendor)
+        return tuple(seen)
+
+    @property
+    def products(self) -> tuple[str, ...]:
+        """Distinct (vendor, product) pairs flattened to product names."""
+        seen: dict[str, None] = {}
+        for cpe in self.cpes:
+            if isinstance(cpe.product, str):
+                seen.setdefault(cpe.product)
+        return tuple(seen)
+
+    def vendor_products(self) -> tuple[tuple[str, str], ...]:
+        """Distinct (vendor, product) pairs in first-appearance order."""
+        seen: dict[tuple[str, str], None] = {}
+        for cpe in self.cpes:
+            if isinstance(cpe.vendor, str) and isinstance(cpe.product, str):
+                seen.setdefault((cpe.vendor, cpe.product))
+        return tuple(seen)
+
+    # -- severity views ---------------------------------------------------
+
+    @property
+    def v2_score(self) -> float | None:
+        return score_v2(self.cvss_v2).base if self.cvss_v2 else None
+
+    @property
+    def v3_score(self) -> float | None:
+        return score_v3(self.cvss_v3).base if self.cvss_v3 else None
+
+    @property
+    def v2_severity(self) -> Severity | None:
+        score = self.v2_score
+        return severity_v2(score) if score is not None else None
+
+    @property
+    def v3_severity(self) -> Severity | None:
+        score = self.v3_score
+        return severity_v3(score) if score is not None else None
+
+    @property
+    def has_v3(self) -> bool:
+        return self.cvss_v3 is not None
+
+    # -- description views --------------------------------------------------
+
+    @property
+    def description(self) -> str:
+        """The primary (first) description, or empty string."""
+        return self.descriptions[0] if self.descriptions else ""
+
+    def all_description_text(self) -> str:
+        """All descriptions joined — the surface the CWE regex scans."""
+        return "\n".join(self.descriptions)
+
+    # -- mutation helpers (entries are frozen; return modified copies) ------
+
+    def replace(self, **changes: object) -> "CveEntry":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,197 @@
+"""In-memory NVD snapshot with query indices.
+
+The paper's study operates on "a snapshot of NVD captured on May 21,
+2018" (§3).  :class:`NvdSnapshot` is that snapshot as an object: it
+indexes entries by id, year, vendor, product, and CWE, exposes the §3
+scale statistics, and supports the name-remapping operation the
+cleaning pipeline applies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.cwe import is_sentinel
+from repro.nvd.models import CveEntry
+
+__all__ = ["NvdSnapshot", "SnapshotStats"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SnapshotStats:
+    """§3-style scale summary of a snapshot."""
+
+    n_cves: int
+    n_vendors: int
+    n_products: int
+    n_cwe_types: int
+    n_with_v3: int
+    n_with_v2: int
+    n_references: int
+    year_range: tuple[int, int]
+
+
+class NvdSnapshot:
+    """An immutable collection of CVE entries with lookup indices."""
+
+    def __init__(self, entries: Iterable[CveEntry]) -> None:
+        self._entries: dict[str, CveEntry] = {}
+        for entry in entries:
+            if entry.cve_id in self._entries:
+                raise ValueError(f"duplicate CVE id {entry.cve_id}")
+            self._entries[entry.cve_id] = entry
+        self._by_vendor: dict[str, list[str]] | None = None
+        self._by_product: dict[str, list[str]] | None = None
+        self._by_year: dict[int, list[str]] | None = None
+        self._by_cwe: dict[str, list[str]] | None = None
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CveEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, cve_id: str) -> bool:
+        return cve_id in self._entries
+
+    def get(self, cve_id: str) -> CveEntry | None:
+        return self._entries.get(cve_id)
+
+    def __getitem__(self, cve_id: str) -> CveEntry:
+        return self._entries[cve_id]
+
+    @property
+    def entries(self) -> list[CveEntry]:
+        return list(self._entries.values())
+
+    # -- indices --------------------------------------------------------------
+
+    def _vendor_index(self) -> dict[str, list[str]]:
+        if self._by_vendor is None:
+            index: dict[str, list[str]] = {}
+            for entry in self:
+                for vendor in entry.vendors:
+                    index.setdefault(vendor, []).append(entry.cve_id)
+            self._by_vendor = index
+        return self._by_vendor
+
+    def _product_index(self) -> dict[str, list[str]]:
+        if self._by_product is None:
+            index: dict[str, list[str]] = {}
+            for entry in self:
+                for product in entry.products:
+                    index.setdefault(product, []).append(entry.cve_id)
+            self._by_product = index
+        return self._by_product
+
+    def _year_index(self) -> dict[int, list[str]]:
+        if self._by_year is None:
+            index: dict[int, list[str]] = {}
+            for entry in self:
+                index.setdefault(entry.published.year, []).append(entry.cve_id)
+            self._by_year = index
+        return self._by_year
+
+    def _cwe_index(self) -> dict[str, list[str]]:
+        if self._by_cwe is None:
+            index: dict[str, list[str]] = {}
+            for entry in self:
+                for cwe_id in entry.cwe_ids:
+                    index.setdefault(cwe_id, []).append(entry.cve_id)
+            self._by_cwe = index
+        return self._by_cwe
+
+    # -- queries ----------------------------------------------------------------
+
+    def by_vendor(self, vendor: str) -> list[CveEntry]:
+        """All entries whose CPE list names ``vendor``."""
+        return [self._entries[i] for i in self._vendor_index().get(vendor, ())]
+
+    def by_product(self, product: str) -> list[CveEntry]:
+        """All entries whose CPE list names ``product``."""
+        return [self._entries[i] for i in self._product_index().get(product, ())]
+
+    def by_publication_year(self, year: int) -> list[CveEntry]:
+        """All entries published (added to NVD) in ``year``."""
+        return [self._entries[i] for i in self._year_index().get(year, ())]
+
+    def by_cwe(self, cwe_id: str) -> list[CveEntry]:
+        """All entries labelled with ``cwe_id`` (sentinels allowed)."""
+        return [self._entries[i] for i in self._cwe_index().get(cwe_id, ())]
+
+    def vendors(self) -> list[str]:
+        """All distinct vendor names."""
+        return sorted(self._vendor_index())
+
+    def products(self) -> list[str]:
+        """All distinct product names."""
+        return sorted(self._product_index())
+
+    def vendor_cve_counts(self) -> dict[str, int]:
+        """Vendor → number of associated CVEs."""
+        return {vendor: len(ids) for vendor, ids in self._vendor_index().items()}
+
+    def vendor_product_counts(self) -> dict[str, int]:
+        """Vendor → number of distinct products listed under it."""
+        pairs: dict[str, set[str]] = {}
+        for entry in self:
+            for vendor, product in entry.vendor_products():
+                pairs.setdefault(vendor, set()).add(product)
+        return {vendor: len(products) for vendor, products in pairs.items()}
+
+    def product_cve_counts(self) -> dict[tuple[str, str], int]:
+        """(vendor, product) → number of associated CVEs."""
+        counts: dict[tuple[str, str], int] = {}
+        for entry in self:
+            for pair in entry.vendor_products():
+                counts[pair] = counts.get(pair, 0) + 1
+        return counts
+
+    def with_v3(self) -> list[CveEntry]:
+        """Entries carrying a CVSS v3 vector (the ground-truth pool)."""
+        return [entry for entry in self if entry.has_v3]
+
+    def v2_only(self) -> list[CveEntry]:
+        """Entries with a v2 vector but no v3 (the prediction targets)."""
+        return [entry for entry in self if entry.cvss_v2 and not entry.has_v3]
+
+    def missing_cwe(self) -> list[CveEntry]:
+        """Entries whose every CWE label is a sentinel (or absent)."""
+        return [
+            entry
+            for entry in self
+            if all(is_sentinel(label) for label in entry.cwe_ids) or not entry.cwe_ids
+        ]
+
+    def filter(self, predicate: Callable[[CveEntry], bool]) -> "NvdSnapshot":
+        """A new snapshot with the entries satisfying ``predicate``."""
+        return NvdSnapshot(entry for entry in self if predicate(entry))
+
+    def map_entries(self, transform: Callable[[CveEntry], CveEntry]) -> "NvdSnapshot":
+        """A new snapshot with ``transform`` applied to every entry."""
+        return NvdSnapshot(transform(entry) for entry in self)
+
+    # -- statistics -----------------------------------------------------------
+
+    def stats(self) -> SnapshotStats:
+        """The §3 scale summary."""
+        years = [entry.published.year for entry in self]
+        concrete_cwes = {
+            cwe_id
+            for entry in self
+            for cwe_id in entry.cwe_ids
+            if not is_sentinel(cwe_id)
+        }
+        return SnapshotStats(
+            n_cves=len(self),
+            n_vendors=len(self._vendor_index()),
+            n_products=len(self._product_index()),
+            n_cwe_types=len(concrete_cwes),
+            n_with_v3=sum(1 for entry in self if entry.has_v3),
+            n_with_v2=sum(1 for entry in self if entry.cvss_v2 is not None),
+            n_references=sum(len(entry.references) for entry in self),
+            year_range=(min(years), max(years)) if years else (0, 0),
+        )

@@ -1,0 +1,13 @@
+"""Rendering of tables, text figures, and paper-vs-measured records."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.figures import render_bar_chart, render_cdf
+from repro.reporting.experiments import Comparison, ExperimentReport
+
+__all__ = [
+    "Comparison",
+    "ExperimentReport",
+    "render_bar_chart",
+    "render_cdf",
+    "render_table",
+]

@@ -1,0 +1,66 @@
+"""Paper-vs-measured comparison records.
+
+Every benchmark emits :class:`Comparison` rows — the paper's reported
+value next to the value measured on the synthetic reproduction, with a
+note on whether the *shape* held.  :class:`ExperimentReport` renders
+them uniformly, which is also how EXPERIMENTS.md entries are produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Comparison", "ExperimentReport"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Comparison:
+    """One paper-vs-measured line item."""
+
+    metric: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """A named experiment (one table or figure) and its comparisons."""
+
+    experiment: str
+    question: str
+    comparisons: list[Comparison] = dataclasses.field(default_factory=list)
+
+    def add(self, metric: str, paper: str, measured: str, holds: bool) -> None:
+        self.comparisons.append(Comparison(metric, paper, measured, holds))
+
+    @property
+    def all_hold(self) -> bool:
+        return all(comparison.holds for comparison in self.comparisons)
+
+    def render(self) -> str:
+        out = [f"== {self.experiment} — {self.question}"]
+        width = max((len(c.metric) for c in self.comparisons), default=0)
+        for c in self.comparisons:
+            status = "ok" if c.holds else "DIVERGES"
+            out.append(
+                f"  {c.metric.ljust(width)}  paper: {c.paper:<18} "
+                f"measured: {c.measured:<18} [{status}]"
+            )
+        return "\n".join(out)
+
+    def to_markdown(self) -> str:
+        out = [
+            f"### {self.experiment}",
+            "",
+            self.question,
+            "",
+            "| Metric | Paper | Measured | Shape holds |",
+            "|---|---|---|---|",
+        ]
+        for c in self.comparisons:
+            out.append(
+                f"| {c.metric} | {c.paper} | {c.measured} | "
+                f"{'yes' if c.holds else 'no'} |"
+            )
+        return "\n".join(out)

@@ -1,0 +1,49 @@
+"""Text rendering of the paper's figure types (CDF curves, bar charts)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["render_bar_chart", "render_cdf"]
+
+
+def render_cdf(
+    values: np.ndarray,
+    cdf: np.ndarray,
+    milestones: Sequence[float] = (0, 6, 7, 30, 90, 365),
+    title: str | None = None,
+) -> str:
+    """Render a CDF as milestone rows (Figure 1 style).
+
+    Each milestone row reports the cumulative fraction at that value.
+    """
+    out = [title] if title else []
+    values = np.asarray(values)
+    cdf = np.asarray(cdf)
+    for milestone in milestones:
+        if values.size == 0:
+            fraction = 0.0
+        else:
+            index = np.searchsorted(values, milestone, side="right") - 1
+            fraction = float(cdf[index]) if index >= 0 else 0.0
+        bar = "#" * int(round(fraction * 40))
+        out.append(f"  lag <= {milestone:>5g} d: {fraction * 100:6.2f}% {bar}")
+    return "\n".join(out)
+
+
+def render_bar_chart(
+    data: dict[str, float],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render a labelled horizontal bar chart (Figures 2 and 4 style)."""
+    out = [title] if title else []
+    if data:
+        peak = max(data.values()) or 1.0
+        label_width = max(len(label) for label in data)
+        for label, value in data.items():
+            bar = "#" * int(round(width * value / peak))
+            out.append(f"  {label.ljust(label_width)} {value:>10.1f} {bar}")
+    return "\n".join(out)

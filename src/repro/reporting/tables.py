@@ -1,0 +1,69 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are right-aligned, text left-aligned; floats print with
+    two decimals.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    cells = [[fmt(value) for value in row] for row in rows]
+    columns = len(headers)
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {columns} columns"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(columns)
+    ]
+    numeric = [
+        all(
+            _is_number(row[i])
+            for row in cells
+        )
+        if cells
+        else False
+        for i in range(columns)
+    ]
+
+    def line(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(headers))
+    out.append(separator)
+    out.extend(line(row) for row in cells)
+    out.append(separator)
+    return "\n".join(out)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,36 @@
+"""Synthetic data substrate.
+
+The paper's raw materials — a 2018 NVD snapshot, the live web behind
+591.4K reference URLs, and the SecurityFocus/SecurityTracker databases
+— are unavailable offline.  This package synthesises deterministic
+equivalents with the paper's *measured* statistical properties and
+*injected* inconsistencies with known ground truth:
+
+- :mod:`repro.synth.names` — vendor/product name universe and the
+  inconsistent-variant generators (typos, special characters,
+  abbreviations, prefixes, product-as-vendor);
+- :mod:`repro.synth.descriptions` — CWE-conditioned CVE description
+  templates (including evaluator comments embedding CWE ids);
+- :mod:`repro.synth.generator` — the NVD snapshot generator (dates and
+  lag structure, CVSS v2→v3 ground-truth relationships, CWE labelling
+  gaps, CPE assignment, reference URLs);
+- :mod:`repro.synth.webcorpus` — the in-memory web serving per-domain
+  page layouts with embedded disclosure dates;
+- :mod:`repro.synth.otherdbs` — SecurityFocus / SecurityTracker vendor
+  tables sharing the NVD vendor universe.
+"""
+
+from repro.synth.generator import GeneratorConfig, GroundTruth, SyntheticNvd, generate
+from repro.synth.otherdbs import OtherDatabase, generate_securityfocus, generate_securitytracker
+from repro.synth.webcorpus import SyntheticWeb
+
+__all__ = [
+    "GeneratorConfig",
+    "GroundTruth",
+    "OtherDatabase",
+    "SyntheticNvd",
+    "SyntheticWeb",
+    "generate",
+    "generate_securityfocus",
+    "generate_securitytracker",
+]

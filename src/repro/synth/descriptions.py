@@ -1,0 +1,298 @@
+"""CWE-conditioned CVE description generation.
+
+§4.4 observes that "the CVE description outlines the traces of a
+vulnerability, which can be used to determine the type of
+vulnerability" — the description classifier only works because each
+weakness family has characteristic phrasing.  These templates give each
+CWE family a distinct vocabulary (mirroring real NVD phrasing) so the
+encoder + k-NN pipeline faces the same signal the paper's did.
+
+Evaluator comments are modelled too: a secondary description of the
+form ``"Per the evaluator: CWE-79: Improper Neutralization ..."`` —
+the surface the ``CWE-[0-9]*`` regex fix (§4.4) mines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cwe import CATALOG
+
+__all__ = ["describe", "evaluator_comment"]
+
+# Family templates.  Placeholders: {product}, {vendor}, {version},
+# {component}, {parameter}, {file}.
+_TEMPLATES: dict[str, tuple[str, ...]] = {
+    "CWE-119": (
+        "Buffer overflow in {component} in {vendor} {product} {version} allows "
+        "remote attackers to execute arbitrary code via a long {parameter} value.",
+        "Heap-based buffer overflow in {product} {version} allows attackers to "
+        "cause a denial of service (memory corruption) or possibly execute "
+        "arbitrary code via a crafted {file} file.",
+        "Stack-based buffer overflow in the {component} function in {product} "
+        "{version} allows remote attackers to execute arbitrary code via a "
+        "crafted packet.",
+    ),
+    "CWE-120": (
+        "Buffer copy without size check in {component} of {product} {version} "
+        "lets remote attackers overflow a buffer via a long {parameter} string.",
+    ),
+    "CWE-125": (
+        "Out-of-bounds read in {component} in {product} {version} allows "
+        "remote attackers to obtain sensitive memory contents or cause a crash "
+        "via a crafted {file} file.",
+    ),
+    "CWE-787": (
+        "Out-of-bounds write in {component} of {vendor} {product} {version} "
+        "allows attackers to execute arbitrary code via a malformed {file} file.",
+    ),
+    "CWE-89": (
+        "SQL injection vulnerability in {file} in {vendor} {product} {version} "
+        "allows remote attackers to execute arbitrary SQL commands via the "
+        "{parameter} parameter.",
+        "Multiple SQL injection vulnerabilities in {product} {version} allow "
+        "remote authenticated users to execute arbitrary SQL commands via the "
+        "{parameter} parameter to {file}.",
+    ),
+    "CWE-79": (
+        "Cross-site scripting (XSS) vulnerability in {file} in {vendor} "
+        "{product} {version} allows remote attackers to inject arbitrary web "
+        "script or HTML via the {parameter} parameter.",
+        "Multiple cross-site scripting (XSS) vulnerabilities in {product} "
+        "{version} allow remote attackers to inject arbitrary web script via "
+        "crafted {parameter} fields.",
+    ),
+    "CWE-352": (
+        "Cross-site request forgery (CSRF) vulnerability in {file} in {product} "
+        "{version} allows remote attackers to hijack the authentication of "
+        "administrators for requests that change the {parameter} setting.",
+    ),
+    "CWE-22": (
+        "Directory traversal vulnerability in {file} in {vendor} {product} "
+        "{version} allows remote attackers to read arbitrary files via a .. "
+        "(dot dot) in the {parameter} parameter.",
+        "Path traversal in {component} of {product} {version} allows attackers "
+        "to write to arbitrary files via crafted sequences in the {parameter} "
+        "field.",
+    ),
+    "CWE-94": (
+        "Code injection vulnerability in {component} in {product} {version} "
+        "allows remote attackers to execute arbitrary PHP code via a crafted "
+        "{parameter} parameter.",
+        "Eval injection in {file} in {product} {version} allows attackers to "
+        "execute arbitrary code via the {parameter} parameter.",
+    ),
+    "CWE-78": (
+        "OS command injection in {component} in {vendor} {product} {version} "
+        "allows remote attackers to execute arbitrary commands via shell "
+        "metacharacters in the {parameter} parameter.",
+    ),
+    "CWE-77": (
+        "Command injection vulnerability in {component} of {product} {version} "
+        "allows authenticated users to run arbitrary commands via the "
+        "{parameter} field.",
+    ),
+    "CWE-20": (
+        "Improper input validation in {component} in {vendor} {product} "
+        "{version} allows remote attackers to cause a denial of service via a "
+        "malformed {parameter} value.",
+        "{product} {version} does not properly validate {parameter} input, "
+        "which allows remote attackers to bypass intended restrictions.",
+    ),
+    "CWE-200": (
+        "Information disclosure in {component} of {vendor} {product} {version} "
+        "allows remote attackers to obtain sensitive information via a crafted "
+        "request to {file}.",
+        "{product} {version} exposes sensitive configuration data to "
+        "unauthenticated users via the {parameter} endpoint.",
+    ),
+    "CWE-264": (
+        "{vendor} {product} {version} does not properly enforce permissions on "
+        "{component}, which allows local users to gain privileges via a "
+        "crafted application.",
+        "Permission management error in {component} in {product} {version} "
+        "allows local users to bypass access restrictions and gain privileges.",
+    ),
+    "CWE-284": (
+        "Improper access control in {component} in {product} {version} allows "
+        "remote attackers to access the {parameter} interface without "
+        "authentication.",
+    ),
+    "CWE-285": (
+        "Improper authorization in {component} of {vendor} {product} {version} "
+        "allows remote authenticated users to perform privileged {parameter} "
+        "operations.",
+    ),
+    "CWE-287": (
+        "Improper authentication in {component} in {product} {version} allows "
+        "remote attackers to bypass login via a crafted {parameter} header.",
+    ),
+    "CWE-306": (
+        "{product} {version} does not require authentication for the "
+        "{component} interface, allowing remote attackers to perform "
+        "administrative actions.",
+    ),
+    "CWE-255": (
+        "{vendor} {product} {version} stores credentials for {component} in "
+        "cleartext in {file}, which allows local users to obtain passwords.",
+    ),
+    "CWE-798": (
+        "{product} {version} contains hard-coded credentials for the "
+        "{component} account, which allows remote attackers to obtain "
+        "administrative access.",
+    ),
+    "CWE-310": (
+        "Cryptographic issue in {component} of {vendor} {product} {version}: "
+        "a weak cipher is used to protect {parameter} data, allowing "
+        "man-in-the-middle attackers to decrypt traffic.",
+        "{product} {version} uses a predictable random number generator to "
+        "create cryptographic keys, making sessions easier to spoof.",
+    ),
+    "CWE-399": (
+        "Resource management error in {component} in {product} {version} "
+        "allows remote attackers to cause a denial of service (memory "
+        "consumption) via a large number of crafted requests.",
+        "Memory leak in {component} of {product} {version} allows attackers "
+        "to exhaust memory via repeated {parameter} requests.",
+    ),
+    "CWE-400": (
+        "Uncontrolled resource consumption in {component} in {product} "
+        "{version} allows remote attackers to cause a denial of service (CPU "
+        "consumption) via a crafted {parameter}.",
+    ),
+    "CWE-416": (
+        "Use-after-free vulnerability in {component} in {vendor} {product} "
+        "{version} allows remote attackers to execute arbitrary code via a "
+        "crafted {file} document that triggers premature object deletion.",
+    ),
+    "CWE-415": (
+        "Double free vulnerability in {component} of {product} {version} "
+        "allows attackers to execute arbitrary code via a malformed {file}.",
+    ),
+    "CWE-476": (
+        "NULL pointer dereference in {component} in {product} {version} allows "
+        "remote attackers to cause a denial of service (crash) via a crafted "
+        "{file} file.",
+    ),
+    "CWE-189": (
+        "Numeric error in {component} in {product} {version} allows remote "
+        "attackers to cause a denial of service via a crafted {parameter} "
+        "value that triggers an incorrect calculation.",
+    ),
+    "CWE-190": (
+        "Integer overflow in {component} in {vendor} {product} {version} "
+        "allows remote attackers to execute arbitrary code via a crafted "
+        "{file} file that triggers a heap-based buffer overflow.",
+    ),
+    "CWE-369": (
+        "Divide-by-zero error in {component} of {product} {version} allows "
+        "attackers to cause a denial of service via a malformed {file}.",
+    ),
+    "CWE-362": (
+        "Race condition in {component} in {vendor} {product} {version} allows "
+        "local users to gain privileges via a crafted sequence of file "
+        "operations on {file}.",
+    ),
+    "CWE-59": (
+        "{product} {version} allows local users to overwrite arbitrary files "
+        "via a symlink attack on the {file} temporary file.",
+    ),
+    "CWE-601": (
+        "Open redirect vulnerability in {file} in {product} {version} allows "
+        "remote attackers to redirect users to arbitrary web sites via the "
+        "{parameter} parameter.",
+    ),
+    "CWE-611": (
+        "XML external entity (XXE) vulnerability in {component} in {product} "
+        "{version} allows remote attackers to read arbitrary files via a "
+        "crafted XML document.",
+    ),
+    "CWE-502": (
+        "{product} {version} deserializes untrusted data in {component}, "
+        "which allows remote attackers to execute arbitrary code via a "
+        "crafted serialized object.",
+    ),
+    "CWE-434": (
+        "Unrestricted file upload vulnerability in {file} in {product} "
+        "{version} allows remote attackers to execute arbitrary code by "
+        "uploading a file with an executable extension.",
+    ),
+    "CWE-835": (
+        "Infinite loop in {component} in {product} {version} allows remote "
+        "attackers to cause a denial of service (CPU consumption) via a "
+        "crafted {file} file with an unreachable exit condition.",
+    ),
+    "CWE-134": (
+        "Format string vulnerability in {component} in {product} {version} "
+        "allows attackers to execute arbitrary code via format string "
+        "specifiers in the {parameter} argument.",
+    ),
+    "CWE-327": (
+        "{product} {version} uses the broken {parameter} hash algorithm in "
+        "{component}, which makes it easier for attackers to forge signatures.",
+    ),
+    "CWE-918": (
+        "Server-side request forgery (SSRF) in {component} of {product} "
+        "{version} allows remote attackers to send crafted requests to "
+        "internal systems via the {parameter} parameter.",
+    ),
+}
+
+_GENERIC = (
+    "A vulnerability in {component} of {vendor} {product} {version} allows "
+    "attackers to compromise the affected system via a crafted {parameter}.",
+    "Unspecified vulnerability in {product} {version} allows remote attackers "
+    "to affect confidentiality, integrity, and availability via unknown "
+    "vectors related to {component}.",
+)
+
+_COMPONENTS = (
+    "the login handler", "the session manager", "the parsing engine",
+    "the admin console", "the HTTP service", "the file handler",
+    "the template renderer", "the authentication module", "the search "
+    "function", "the update mechanism", "the report generator",
+    "the upload handler", "the configuration parser", "the RPC interface",
+    "the image decoder", "the network stack", "the management interface",
+)
+_PARAMETERS = (
+    "id", "user", "name", "query", "page", "file", "path", "action", "cmd",
+    "lang", "category", "search", "title", "url", "token", "session",
+    "username", "email", "sort", "filter",
+)
+_FILES = (
+    "index.php", "login.php", "admin.php", "view.asp", "search.cgi",
+    "config.xml", "report.jsp", "upload.php", "gallery.php", "profile.php",
+    "document.pdf", "archive.zip", "image.png", "media.mp4", "input.xml",
+)
+
+
+def describe(
+    cwe_id: str,
+    vendor: str,
+    product: str,
+    version: str,
+    rng: np.random.Generator,
+) -> str:
+    """Generate a primary description for a CVE of the given CWE type."""
+    templates = _TEMPLATES.get(cwe_id, _GENERIC)
+    template = templates[int(rng.integers(0, len(templates)))]
+    return template.format(
+        vendor=vendor.replace("_", " ").title(),
+        product=product.replace("_", " ").title(),
+        version=version,
+        component=_COMPONENTS[int(rng.integers(0, len(_COMPONENTS)))],
+        parameter=_PARAMETERS[int(rng.integers(0, len(_PARAMETERS)))],
+        file=_FILES[int(rng.integers(0, len(_FILES)))],
+    )
+
+
+def evaluator_comment(cwe_id: str) -> str:
+    """An evaluator description embedding the CWE id (the §4.4 surface).
+
+    Example from the paper: CVE-2007-0838's evaluator description
+    includes "CWE-835: Loop with Unreachable Exit Condition ('Infinite
+    Loop')".
+    """
+    entry = CATALOG.get(cwe_id)
+    name = entry.name if entry else "Unspecified Weakness"
+    return f"Per the CVE evaluator: {cwe_id}: {name}."

@@ -1,0 +1,372 @@
+"""Vendor and product name universe with inconsistency injection.
+
+§4.2 catalogues how NVD names go inconsistent: misspellings
+(microsoft/microsft), format variants (avast/avast!), abbreviations
+(lan_management_system/lms), strict substrings (lynx/lynx_project),
+products used as vendor names, separator variants
+(internet-explorer/internet_explorer/"internet explorer"), and
+single-character edits (tbe_banner_engine/the_banner_engine).
+
+This module provides (a) a deterministic universe of vendors and their
+products — anchored on the real names appearing in the paper's tables
+so examples reproduce verbatim — and (b) variant generators for each
+documented inconsistency class, used by the snapshot generator to
+inject naming noise with known ground truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+__all__ = [
+    "InconsistencyKind",
+    "NameVariant",
+    "VendorSpec",
+    "abbreviate",
+    "build_universe",
+    "make_variant",
+    "tokenize_name",
+]
+
+
+class InconsistencyKind(str, enum.Enum):
+    """The §4.2 inconsistency classes."""
+
+    SPECIAL_CHARS = "special-chars"  # avast / avast!
+    TYPO = "typo"  # microsoft / microsft
+    ABBREVIATION = "abbreviation"  # lan_management_system / lms
+    SUFFIX = "suffix"  # lynx / lynx_project
+    SEPARATOR = "separator"  # internet-explorer / internet_explorer
+    CHAR_EDIT = "char-edit"  # tbe_banner_engine / the_banner_engine
+    PRODUCT_AS_VENDOR = "product-as-vendor"  # microsoft / windows
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NameVariant:
+    """An inconsistent spelling of a canonical name."""
+
+    canonical: str
+    variant: str
+    kind: InconsistencyKind
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VendorSpec:
+    """One vendor in the universe: canonical name, products, weight.
+
+    ``weight`` drives the Zipf-like CVE allocation — top vendors like
+    Microsoft absorb thousands of CVEs (Table 11) while the long tail
+    gets one or two.
+    """
+
+    name: str
+    products: tuple[str, ...]
+    weight: float
+
+
+# ---------------------------------------------------------------------------
+# Anchored real names (from the paper's tables and examples).
+# ---------------------------------------------------------------------------
+
+#: (vendor, example products, relative weight).  Weights approximate the
+#: Table 11 CVE share ordering.
+_ANCHOR_VENDORS: list[tuple[str, tuple[str, ...], float]] = [
+    ("microsoft", ("windows", "internet_explorer", "office", "exchange_server",
+                   "windows_media_player", "edge", "sql_server", "sharepoint",
+                   "visual_studio", ".net_framework"), 620.0),
+    ("oracle", ("database_server", "mysql", "java", "solaris", "weblogic_server",
+                "peoplesoft", "fusion_middleware", "virtualbox", "e-business_suite"), 530.0),
+    ("apple", ("mac_os_x", "iphone_os", "safari", "itunes", "watchos", "tvos",
+               "quicktime", "icloud"), 430.0),
+    ("ibm", ("websphere_application_server", "db2", "aix", "lotus_notes",
+             "rational_quality_manager", "tivoli_storage_manager", "mq"), 390.0),
+    ("google", ("chrome", "android", "v8", "chrome_os"), 370.0),
+    ("cisco", ("ios", "ios_xe", "asa", "unified_communications_manager", "webex",
+               "firepower", "nx-os", "ucs-e160dp-m1_firmware",
+               "ucs-e140dp-m1_firmware"), 345.0),
+    ("adobe", ("flash_player", "acrobat", "acrobat_reader", "coldfusion",
+               "photoshop", "air", "shockwave_player"), 270.0),
+    ("linux", ("linux_kernel",), 214.0),
+    ("debian", ("debian_linux", "openssl_package", "apt"), 205.0),
+    ("redhat", ("enterprise_linux", "openshift", "jboss_enterprise_application_platform",
+                "satellite", "openstack"), 203.0),
+    ("hp", ("hp-ux", "openview", "system_management_homepage", "integrated_lights-out",
+            "laserjet_printer", "procurve_switch", "officejet_printer",
+            "pavilion_desktop", "elitebook_laptop"), 160.0),
+    ("mozilla", ("firefox", "thunderbird", "seamonkey", "firefox_esr"), 150.0),
+    ("canonical", ("ubuntu_linux",), 120.0),
+    ("wordpress", ("wordpress",), 110.0),
+    ("php", ("php",), 105.0),
+    ("joomla", ("joomla%21",), 85.0),
+    ("apache", ("http_server", "tomcat", "struts", "activemq", "httpd"), 140.0),
+    ("intel", ("active_management_technology_firmware", "graphics_driver",
+               "xeon_processor", "core_processor", "chipset_firmware"), 72.0),
+    ("huawei", ("mate_9_firmware", "p10_firmware", "honor_firmware", "usg_firmware",
+                "vrp_platform"), 70.0),
+    ("lenovo", ("thinkpad_firmware", "system_update", "ideapad_firmware",
+                "xclarity_administrator"), 58.0),
+    ("siemens", ("simatic_s7_firmware", "scalance_firmware", "sinumerik_firmware",
+                 "ruggedcom_firmware"), 51.0),
+    ("axis", ("m3004_firmware", "p1343_firmware", "q1604_firmware", "companion_firmware"), 48.0),
+    ("bea_systems", ("weblogic_server", "tuxedo"), 18.5),
+    ("avg", ("antivirus",), 8.0),
+    ("avast", ("antivirus", "premier"), 9.0),
+    ("schneider_electric", ("modicon_m340_firmware", "unity_pro", "ecostruxure"), 25.0),
+    ("torproject", ("tor", "tor_browser"), 9.0),
+    ("openssl_project", ("openssl",), 30.0),
+    ("quick_heal", ("total_security", "antivirus_pro"), 7.0),
+    ("nativesolutions", ("tbe_banner_engine",), 2.0),
+    ("nginx.inc", ("nginx",), 16.0),
+    ("lynx_project", ("lynx",), 3.0),
+    ("lan_management_system_project", ("lan_management_system",), 2.5),
+    ("provos", ("systrace",), 2.0),
+    ("kernel", ("linux_kernel",), 12.0),
+    ("samba", ("samba",), 26.0),
+    ("vmware", ("esxi", "workstation", "vcenter_server", "fusion"), 55.0),
+    ("symantec", ("norton_antivirus", "endpoint_protection", "messaging_gateway"), 60.0),
+    ("mcafee", ("virusscan_enterprise", "epolicy_orchestrator"), 34.0),
+    ("sap", ("netweaver", "hana", "businessobjects"), 44.0),
+    ("netapp", ("ontap", "oncommand_insight"), 30.0),
+    ("f5", ("big-ip_ltm", "big-iq"), 28.0),
+    ("juniper", ("junos", "screenos"), 40.0),
+    ("dlink", ("dir-850l_firmware", "dir-615_firmware", "dcs-930l_firmware"), 24.0),
+    ("netgear", ("r7000_firmware", "wnr2000_firmware", "prosafe_firmware"), 23.0),
+    ("qualcomm", ("snapdragon_firmware", "msm8996_firmware"), 38.0),
+    ("foxitsoftware", ("foxit_reader", "phantompdf"), 22.0),
+    ("imagemagick", ("imagemagick",), 21.0),
+    ("ffmpeg", ("ffmpeg",), 19.0),
+    ("wireshark", ("wireshark",), 25.0),
+    ("gnu", ("glibc", "binutils", "bash", "gcc", "coreutils"), 33.0),
+    ("python", ("python", "pillow_package"), 14.0),
+    ("nodejs", ("node.js",), 12.0),
+    ("jenkins", ("jenkins", "pipeline_plugin"), 20.0),
+    ("atlassian", ("jira", "confluence", "bitbucket"), 17.0),
+    ("drupal", ("drupal",), 27.0),
+    ("typo3", ("typo3",), 13.0),
+    ("moodle", ("moodle",), 15.0),
+    ("phpmyadmin", ("phpmyadmin",), 11.0),
+    ("mediawiki", ("mediawiki",), 9.0),
+    ("squid-cache", ("squid",), 8.0),
+    ("isc", ("bind", "dhcp"), 18.0),
+    ("openbsd", ("openbsd", "openssh"), 22.0),
+    ("freebsd", ("freebsd",), 16.0),
+    ("xen", ("xen_hypervisor",), 19.0),
+    ("qemu", ("qemu",), 17.0),
+    ("libpng", ("libpng",), 6.0),
+    ("libtiff", ("libtiff",), 9.0),
+    ("sqlite", ("sqlite",), 7.0),
+    ("postgresql", ("postgresql",), 12.0),
+    ("mariadb", ("mariadb",), 9.0),
+    ("mongodb", ("mongodb",), 7.0),
+    ("elastic", ("elasticsearch", "kibana"), 8.0),
+    ("docker", ("docker_engine",), 6.0),
+    ("kubernetes", ("kubernetes",), 5.0),
+    ("gitlab", ("gitlab",), 14.0),
+    ("zoho", ("manageengine_servicedesk_plus", "manageengine_opmanager"), 12.0),
+    ("trendmicro", ("officescan", "deep_security_manager"), 16.0),
+    ("kaspersky", ("internet_security", "endpoint_security"), 10.0),
+    ("sophos", ("utm_firmware", "endpoint_protection"), 8.0),
+    ("fortinet", ("fortios", "fortimanager"), 21.0),
+    ("paloaltonetworks", ("pan-os",), 13.0),
+    ("checkpoint", ("security_gateway_firmware",), 7.0),
+    ("citrix", ("xenapp", "netscaler_firmware"), 15.0),
+    ("realnetworks", ("realplayer",), 9.0),
+    ("opera", ("opera_browser",), 13.0),
+    ("aol", ("icq", "aim"), 6.0),
+]
+
+# Syllable pools for generated long-tail names.
+_PREFIXES = (
+    "net", "sec", "data", "web", "cyber", "soft", "tech", "info", "micro",
+    "open", "digi", "auto", "smart", "cloud", "link", "core", "meta", "sys",
+    "alpha", "blue", "red", "green", "fast", "easy", "pro", "multi", "uni",
+    "omni", "tele", "inter", "trans", "ultra", "nano", "giga", "hyper",
+)
+_STEMS = (
+    "ware", "works", "logic", "base", "gate", "guard", "shield", "force",
+    "flow", "stack", "forge", "mind", "path", "wave", "line", "port", "desk",
+    "view", "scope", "track", "vault", "bridge", "node", "grid", "zone",
+    "cast", "sync", "scan", "press", "print", "serve", "host", "media",
+)
+_SUFFIXES = ("", "", "", "_software", "_systems", "_technologies", "_labs",
+             "_solutions", "_security", "_networks", "_project", "_team", "_inc")
+
+_PRODUCT_HEADS = (
+    "account", "admin", "agent", "archive", "asset", "backup", "banner",
+    "billing", "blog", "board", "calendar", "cart", "chat", "cms", "commerce",
+    "contact", "content", "control", "dashboard", "directory", "document",
+    "download", "event", "file", "forum", "gallery", "guest", "help",
+    "image", "inventory", "invoice", "job", "ldap", "library", "mail",
+    "media", "member", "message", "monitor", "news", "newsletter", "order",
+    "page", "panel", "photo", "poll", "portal", "project", "proxy", "quiz",
+    "report", "school", "search", "server", "shop", "site", "store",
+    "survey", "task", "ticket", "time", "user", "video", "wiki", "workflow",
+)
+_PRODUCT_TAILS = (
+    "manager", "engine", "suite", "center", "system", "studio", "builder",
+    "master", "express", "portal", "server", "client", "gateway", "toolkit",
+    "plus", "pro", "lite", "viewer", "editor", "tracker", "creator",
+    "assistant", "console", "agent", "hub", "deck", "works", "base",
+)
+
+
+def tokenize_name(name: str) -> tuple[str, ...]:
+    """Split a CPE-ish name on separators and drop special characters.
+
+    ``internet-explorer``, ``internet_explorer`` and
+    ``internet explorer`` all tokenize to ``("internet", "explorer")``;
+    ``avast!`` tokenizes to ``("avast",)``.
+    """
+    cleaned = []
+    current: list[str] = []
+    for char in name:
+        if char.isalnum() or char == ".":
+            current.append(char)
+        else:
+            if current:
+                cleaned.append("".join(current))
+            current = []
+    if current:
+        cleaned.append("".join(current))
+    return tuple(cleaned)
+
+
+def abbreviate(name: str) -> str:
+    """First characters of a multi-token name (``internet-explorer`` → ``ie``)."""
+    tokens = tokenize_name(name)
+    return "".join(token[0] for token in tokens if token)
+
+
+def _typo(name: str, rng: np.random.Generator) -> str:
+    """Drop one interior character (microsoft → microsft)."""
+    letters = [i for i, char in enumerate(name) if char.isalnum()]
+    if len(letters) < 4:
+        return name + "x"
+    drop = letters[int(rng.integers(1, len(letters) - 1))]
+    return name[:drop] + name[drop + 1 :]
+
+
+def _char_edit(name: str, rng: np.random.Generator) -> str:
+    """Substitute one interior character (the → tbe)."""
+    letters = [i for i, char in enumerate(name) if char.isalpha()]
+    if not letters:
+        return name + "0"
+    position = letters[int(rng.integers(0, len(letters)))]
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    current = name[position]
+    replacement = alphabet[(alphabet.index(current) + 1) % 26] if current in alphabet else "x"
+    return name[: position] + replacement + name[position + 1 :]
+
+
+def _separator_swap(name: str, rng: np.random.Generator) -> str:
+    """Swap underscore/hyphen separators (internet-explorer → internet_explorer)."""
+    if "_" in name:
+        return name.replace("_", "-")
+    if "-" in name:
+        return name.replace("-", "_")
+    return name + "!"
+
+
+def _special_chars(name: str, rng: np.random.Generator) -> str:
+    """Add or strip a special character (avast → avast!)."""
+    for char in "!_-":
+        if char in name:
+            return name.replace(char, "")
+    return name + "!"
+
+
+def _suffix(name: str, rng: np.random.Generator) -> str:
+    """Add or strip a corporate suffix (lynx → lynx_project)."""
+    for suffix in ("_project", "_systems", "_inc", "_software", "_team"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    choice = ("_project", "_systems", "_inc", "_software")[int(rng.integers(0, 4))]
+    return name + choice
+
+
+_VARIANT_MAKERS = {
+    InconsistencyKind.SPECIAL_CHARS: _special_chars,
+    InconsistencyKind.TYPO: _typo,
+    InconsistencyKind.CHAR_EDIT: _char_edit,
+    InconsistencyKind.SEPARATOR: _separator_swap,
+    InconsistencyKind.SUFFIX: _suffix,
+}
+
+
+def make_variant(
+    name: str, kind: InconsistencyKind, rng: np.random.Generator
+) -> NameVariant:
+    """Produce an inconsistent variant of ``name`` of the given kind.
+
+    ``ABBREVIATION`` requires a multi-token name; falls back to SUFFIX
+    when the name has a single token.  ``PRODUCT_AS_VENDOR`` is handled
+    by the generator itself (it needs the vendor's product list).
+    """
+    if kind == InconsistencyKind.PRODUCT_AS_VENDOR:
+        raise ValueError("product-as-vendor variants are built by the generator")
+    if kind == InconsistencyKind.ABBREVIATION:
+        tokens = tokenize_name(name)
+        if len(tokens) >= 2:
+            return NameVariant(name, abbreviate(name), kind)
+        kind = InconsistencyKind.SUFFIX
+    variant = _VARIANT_MAKERS[kind](name, rng)
+    if variant == name:  # ensure the variant actually differs
+        variant = name + "!"
+        kind = InconsistencyKind.SPECIAL_CHARS
+    return NameVariant(name, variant, kind)
+
+
+def build_universe(
+    n_vendors: int, rng: np.random.Generator, max_products_per_vendor: int = 24
+) -> list[VendorSpec]:
+    """Build a deterministic vendor universe of ``n_vendors`` entries.
+
+    Anchored real vendors come first (carrying the paper's examples);
+    the long tail is generated from syllable pools with Zipf-decaying
+    weights and one to a handful of products each.
+    """
+    universe: list[VendorSpec] = [
+        VendorSpec(name, products, weight)
+        for name, products, weight in _ANCHOR_VENDORS[:n_vendors]
+    ]
+    anchor_weight = sum(spec.weight for spec in universe)
+    seen = {spec.name for spec in universe}
+    tail_specs: list[VendorSpec] = []
+    rank = 0
+    while len(universe) + len(tail_specs) < n_vendors:
+        prefix = _PREFIXES[int(rng.integers(0, len(_PREFIXES)))]
+        stem = _STEMS[int(rng.integers(0, len(_STEMS)))]
+        suffix = _SUFFIXES[int(rng.integers(0, len(_SUFFIXES)))]
+        name = f"{prefix}{stem}{suffix}"
+        if name in seen:
+            name = f"{prefix}{stem}{rank}{suffix}"
+        if name in seen:
+            rank += 1
+            continue
+        seen.add(name)
+        n_products = 1 + int(rng.integers(0, max_products_per_vendor) ** 2 / max_products_per_vendor)
+        products = []
+        for _ in range(n_products):
+            head = _PRODUCT_HEADS[int(rng.integers(0, len(_PRODUCT_HEADS)))]
+            tail = _PRODUCT_TAILS[int(rng.integers(0, len(_PRODUCT_TAILS)))]
+            separator = "_" if rng.random() < 0.8 else "-"
+            products.append(f"{head}{separator}{tail}")
+        # Zipf-shaped placeholder weight; rescaled below.
+        weight = 1.0 / (1.0 + len(tail_specs)) ** 0.45
+        tail_specs.append(VendorSpec(name, tuple(dict.fromkeys(products)), weight))
+        rank += 1
+    # Rescale the tail so anchors hold ≈47% of the total CVE mass —
+    # that puts the top-10 vendors at ≈36% of CVEs (Table 11) while the
+    # long tail absorbs the rest.
+    tail_placeholder = sum(spec.weight for spec in tail_specs)
+    if tail_specs and tail_placeholder > 0:
+        scale = (anchor_weight * 1.13) / tail_placeholder
+        tail_specs = [
+            VendorSpec(spec.name, spec.products, spec.weight * scale)
+            for spec in tail_specs
+        ]
+    universe.extend(tail_specs)
+    return universe

@@ -1,0 +1,106 @@
+"""Synthetic SecurityFocus and SecurityTracker vendor tables.
+
+§4.2 applies the NVD-derived vendor mapping to two other vulnerability
+databases: SecurityFocus (24,760 vendor names, 8% found inconsistent)
+and SecurityTracker (4,151 names, 3% inconsistent).  The paper only
+needs each database's vendor-name column, so that is what we model:
+each database draws from the same vendor universe as the NVD (plus its
+own local names) and includes inconsistent variants at its own rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.synth.names import VendorSpec
+
+__all__ = ["OtherDatabase", "generate_securityfocus", "generate_securitytracker"]
+
+
+@dataclasses.dataclass
+class OtherDatabase:
+    """A vulnerability database reduced to its vendor-name column."""
+
+    name: str
+    vendor_names: list[str]
+    #: ground truth: variant name → canonical name, for scoring.
+    truth_map: dict[str, str]
+
+    def distinct_vendors(self) -> int:
+        return len(set(self.vendor_names))
+
+
+def _build(
+    name: str,
+    universe: list[VendorSpec],
+    nvd_vendor_map: dict[str, str],
+    size_ratio: float,
+    variant_rate: float,
+    extra_local_ratio: float,
+    seed: int,
+) -> OtherDatabase:
+    """Assemble a database sharing the NVD universe.
+
+    ``size_ratio`` scales the vendor count relative to the NVD's;
+    ``variant_rate`` is the fraction of included names that are
+    inconsistent variants; ``extra_local_ratio`` adds names unique to
+    this database (vendors the NVD never listed).
+    """
+    rng = np.random.default_rng(seed)
+    target = max(10, int(len(universe) * size_ratio))
+    canonical_names = [spec.name for spec in universe]
+    chosen = rng.choice(
+        len(canonical_names), size=min(target, len(canonical_names)), replace=False
+    )
+    names = [canonical_names[int(index)] for index in chosen]
+
+    # Inconsistent variants: reuse the NVD's variant universe, since a
+    # shared vendor tends to be misspelled the same ways everywhere.
+    variants = list(nvd_vendor_map.items())
+    rng.shuffle(variants)
+    n_variants = int(len(names) * variant_rate)
+    truth_map: dict[str, str] = {}
+    for variant, canonical in variants[:n_variants]:
+        names.append(variant)
+        truth_map[variant] = canonical
+
+    n_local = int(len(names) * extra_local_ratio)
+    names.extend(f"{name.lower()}-local-vendor-{index:05d}" for index in range(n_local))
+    rng.shuffle(names)
+    return OtherDatabase(name=name, vendor_names=names, truth_map=truth_map)
+
+
+def generate_securityfocus(
+    universe: list[VendorSpec],
+    nvd_vendor_map: dict[str, str],
+    seed: int = 101,
+) -> OtherDatabase:
+    """SecurityFocus: larger than the NVD, ≈8% inconsistent names."""
+    return _build(
+        "SecurityFocus",
+        universe,
+        nvd_vendor_map,
+        size_ratio=1.15,
+        variant_rate=0.085,
+        extra_local_ratio=0.12,
+        seed=seed,
+    )
+
+
+def generate_securitytracker(
+    universe: list[VendorSpec],
+    nvd_vendor_map: dict[str, str],
+    seed: int = 102,
+) -> OtherDatabase:
+    """SecurityTracker: much smaller, ≈3% inconsistent names."""
+    return _build(
+        "SecurityTracker",
+        universe,
+        nvd_vendor_map,
+        size_ratio=0.20,
+        variant_rate=0.028,
+        extra_local_ratio=0.05,
+        seed=seed,
+    )

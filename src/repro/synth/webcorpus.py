@@ -1,0 +1,173 @@
+"""Synthetic web corpus: the pages behind reference URLs.
+
+Implements the :class:`repro.web.crawler.WebClient` protocol.  Pages
+are *specified* compactly (URL → disclosure date) and *rendered* lazily
+on fetch, in the layout registered for the URL's domain, so a
+full-scale corpus (≈590K pages) costs a few megabytes.
+
+Rendered pages are deliberately adversarial in a realistic way: every
+page also carries unrelated dates (a last-modified stamp after the
+disclosure and a copyright year), so a naive "grab the first date on
+the page" scraper would mis-estimate disclosure dates.  Only the
+layout-aware extractors in :mod:`repro.web.crawler` recover the right
+field.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+
+from repro.web.domains import TOP_DOMAINS, domain_of, is_dead_domain
+
+__all__ = ["SyntheticWeb"]
+
+_WEEKDAYS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+_MONTHS = ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+           "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+_LONG_MONTHS = ("January", "February", "March", "April", "May", "June",
+                "July", "August", "September", "October", "November",
+                "December")
+
+
+def _us_date(date: datetime.date) -> str:
+    return f"{_MONTHS[date.month - 1]} {date.day:02d} {date.year}"
+
+
+def _long_date(date: datetime.date) -> str:
+    return f"{_LONG_MONTHS[date.month - 1]} {date.day}, {date.year}"
+
+
+def _rfc2822(date: datetime.date) -> str:
+    return (
+        f"{_WEEKDAYS[date.weekday()]}, {date.day} {_MONTHS[date.month - 1]} "
+        f"{date.year} 10:23:00 +0000"
+    )
+
+
+def _render(layout: str, date: datetime.date, noise_days: int) -> str:
+    """Render a page of the given layout embedding ``date``.
+
+    ``noise_days`` shifts the decoy last-modified stamp so every page
+    is unique and decoys never precede the true date.
+    """
+    modified = date + datetime.timedelta(days=30 + noise_days)
+    decoys = (
+        f"<div class='footer'>Copyright 1996-2018 Example Corp. "
+        f"Last modified: {modified.isoformat()}</div>"
+    )
+    if layout == "securityfocus":
+        body = (
+            f"<table><tr><td>Class:</td><td>Input Validation Error</td></tr>\n"
+            f"<tr><td>Published:</td><td>{_us_date(date)} 12:00AM</td></tr>\n"
+            f"<tr><td>Updated:</td><td>{_us_date(modified)} 09:14AM</td></tr></table>"
+        )
+    elif layout == "securitytracker":
+        body = (
+            f"<b>SecurityTracker Archives</b>\n"
+            f"Date:  {_us_date(date)}\n"
+            f"Impact: Execution of arbitrary code"
+        )
+    elif layout == "bugzilla":
+        body = (
+            f"<th>Reported:</th><td>{date.isoformat()} 10:23 EST by a user</td>\n"
+            f"<th>Modified:</th><td>{modified.isoformat()} 11:00 EST</td>"
+        )
+    elif layout == "mailinglist":
+        body = (
+            f"List: security-announce\n"
+            f"Date: {_rfc2822(date)}\n"
+            f"Subject: [SECURITY] advisory"
+        )
+    elif layout == "jvn":
+        body = (
+            f"<dl><dt>公開日：</dt><dd>{date.year}/{date.month:02d}/{date.day:02d}</dd>\n"
+            f"<dt>最終更新日：</dt><dd>{modified.year}/{modified.month:02d}/"
+            f"{modified.day:02d}</dd></dl>"
+        )
+    elif layout == "advisory":
+        body = (
+            f'<meta name="published" content="{date.isoformat()}">\n'
+            f"<h1>Security Advisory</h1>\n"
+            f"<p>First published: {_long_date(date)}</p>\n"
+            f"<p>Last updated: {_long_date(modified)}</p>"
+        )
+    elif layout == "dsa":
+        body = (
+            f"<dt>Date Reported:</dt>\n<dd>{date.day:02d} "
+            f"{_MONTHS[date.month - 1]} {date.year}</dd>\n"
+            f"<dt>Affected Packages:</dt><dd>example</dd>"
+        )
+    elif layout == "usn":
+        body = (
+            f"<p class='p-muted-heading'>Published: {date.day} "
+            f"{_LONG_MONTHS[date.month - 1]} {date.year}</p>\n"
+            f"<h1>USN: vulnerability</h1>"
+        )
+    elif layout == "github":
+        body = (
+            f'<relative-time datetime="{date.isoformat()}T10:23:00Z">'
+            f"on {_us_date(date)}</relative-time>"
+        )
+    elif layout == "exploitdb":
+        body = (
+            f"<table><tr><td>EDB-ID:</td><td>12345</td></tr>\n"
+            f"<tr><td>Date:</td><td>{date.isoformat()}</td></tr></table>"
+        )
+    elif layout == "certvu":
+        body = (
+            f"<p>Original Release Date: {date.isoformat()} | "
+            f"Last Revised: {modified.isoformat()}</p>"
+        )
+    elif layout == "xforce":
+        body = (
+            f"<span>Reported: {_MONTHS[date.month - 1]} {date.day}, {date.year}"
+            f"</span>"
+        )
+    elif layout == "debbugs":
+        body = f"Date: {_rfc2822(date)}\nSeverity: grave"
+    elif layout == "launchpad":
+        body = f"<span>Reported on {date.isoformat()} by a user</span>"
+    else:  # "plain"
+        body = f"<p>Advisory published {date.isoformat()}.</p>"
+    return f"<html><body>\n{body}\n{decoys}\n</body></html>"
+
+
+class SyntheticWeb:
+    """An in-memory web: URL → page spec, rendered on fetch."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._pages: dict[str, datetime.date] = {}
+        self.fetch_count = 0
+
+    def add_page(self, url: str, disclosure_date: datetime.date) -> None:
+        """Register the page behind ``url`` carrying ``disclosure_date``."""
+        self._pages[url] = disclosure_date
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._pages
+
+    def date_of(self, url: str) -> datetime.date | None:
+        """The disclosure date a page was specified with (test oracle)."""
+        return self._pages.get(url)
+
+    def fetch(self, url: str) -> str | None:
+        """Serve a page; dead domains and unknown URLs return None."""
+        self.fetch_count += 1
+        domain = domain_of(url)
+        if is_dead_domain(domain):
+            return None
+        date = self._pages.get(url)
+        if date is None:
+            return None
+        info = TOP_DOMAINS.get(domain)
+        layout = info.layout if info else "plain"
+        digest = hashlib.blake2b(
+            f"{self.seed}:{url}".encode(), digest_size=2
+        ).digest()
+        noise_days = digest[0] % 90
+        return _render(layout, date, noise_days)

@@ -1,0 +1,21 @@
+"""Text preprocessing substrate for CVE descriptions (§4.4)."""
+
+from repro.text.preprocess import (
+    STOP_WORDS,
+    expand_contractions,
+    normalize_tense,
+    preprocess,
+    remove_special_characters,
+    remove_stop_words,
+    tokenize,
+)
+
+__all__ = [
+    "STOP_WORDS",
+    "expand_contractions",
+    "normalize_tense",
+    "preprocess",
+    "remove_special_characters",
+    "remove_stop_words",
+    "tokenize",
+]

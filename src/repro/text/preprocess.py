@@ -1,0 +1,168 @@
+"""CVE description preprocessing.
+
+§4.4 of the paper: "we unified the cases (convert text to lower case),
+removed the stop words and special characters [...], replaced
+contractions (e.g., identifier's is changed to identifier), and tense
+(past tense is changed to present tense, e.g., used is changed to
+use)."  This module implements that pipeline with a rule-based stemmer
+(no NLTK offline), sufficient to normalise the crowd-sourced
+description vocabulary before encoding.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "STOP_WORDS",
+    "expand_contractions",
+    "normalize_tense",
+    "preprocess",
+    "remove_special_characters",
+    "remove_stop_words",
+    "tokenize",
+]
+
+#: Common English stop words.  Matches the paper's example: in
+#: "This capability can be accessed", the words this/can/be drop out.
+STOP_WORDS = frozenset(
+    """
+    a about above after again against all am an and any are as at be because
+    been before being below between both but by can could did do does doing
+    down during each few for from further had has have having he her here
+    hers herself him himself his how i if in into is it its itself just me
+    more most my myself no nor not now of off on once only or other our ours
+    ourselves out over own same she should so some such than that the their
+    theirs them themselves then there these they this those through to too
+    under until up very was we were what when where which while who whom why
+    will with you your yours yourself yourselves
+    """.split()
+)
+
+#: Contraction suffixes stripped from tokens (possessives and clitics).
+_CONTRACTION_SUFFIXES = ("'s", "'re", "'ve", "'ll", "'d", "'t", "'m")
+
+#: Irregular past-tense verbs common in CVE descriptions.
+_IRREGULAR_PAST = {
+    "was": "is",
+    "were": "are",
+    "been": "be",
+    "had": "have",
+    "did": "do",
+    "done": "do",
+    "made": "make",
+    "sent": "send",
+    "found": "find",
+    "ran": "run",
+    "read": "read",
+    "wrote": "write",
+    "written": "write",
+    "took": "take",
+    "taken": "take",
+    "gave": "give",
+    "given": "give",
+    "got": "get",
+    "gotten": "get",
+    "led": "lead",
+    "left": "leave",
+    "lost": "lose",
+    "built": "build",
+    "brought": "bring",
+    "thought": "think",
+    "caught": "catch",
+    "held": "hold",
+    "kept": "keep",
+    "known": "know",
+    "knew": "know",
+    "chose": "choose",
+    "chosen": "choose",
+    "broke": "break",
+    "broken": "break",
+    "began": "begin",
+    "begun": "begin",
+    "became": "become",
+    "saw": "see",
+    "seen": "see",
+    "set": "set",
+    "put": "put",
+    "let": "let",
+}
+
+_TOKEN_RE = re.compile(r"[a-z0-9][a-z0-9._-]*")
+_SPECIAL_RE = re.compile(r"[^a-z0-9\s._-]")
+
+# Words ending in a double consonant before -ed (e.g. "stopped") drop
+# the duplicated letter.  s/f/l/z are excluded: their doubles are
+# usually part of the stem (accessed → access, stuffed → stuff).
+_DOUBLED_RE = re.compile(r"([bdgkmnprt])\1ed$")
+
+
+def expand_contractions(text: str) -> str:
+    """Strip possessive/clitic suffixes: ``identifier's`` → ``identifier``."""
+    words = text.split()
+    out: list[str] = []
+    for word in words:
+        lowered = word
+        for suffix in _CONTRACTION_SUFFIXES:
+            for quote in ("'", "’"):
+                candidate = suffix.replace("'", quote)
+                if lowered.lower().endswith(candidate):
+                    lowered = lowered[: -len(candidate)]
+                    break
+        out.append(lowered)
+    return " ".join(out)
+
+
+def remove_special_characters(text: str) -> str:
+    """Drop characters that are neither alphanumeric nor in-token punctuation.
+
+    Dots, underscores and hyphens survive because they are meaningful in
+    version strings, file names and product identifiers
+    (``internet-explorer``, ``mod_ssl``, ``2.4.1``).
+    """
+    return _SPECIAL_RE.sub(" ", text.lower())
+
+
+def remove_stop_words(tokens: list[str]) -> list[str]:
+    """Filter stop words from a token list."""
+    return [token for token in tokens if token not in STOP_WORDS]
+
+
+def normalize_tense(token: str) -> str:
+    """Map past-tense verb forms to present tense (``used`` → ``use``).
+
+    A rule-based approximation: handles irregular verbs via a lookup
+    table and regular ``-ed`` forms via suffix rewriting.  Non-verbs
+    that happen to end in ``-ed`` (e.g. ``embedded``) may be touched,
+    which is acceptable for a bag-of-words encoding as the mapping is
+    deterministic and consistent across the corpus.
+    """
+    if token in _IRREGULAR_PAST:
+        return _IRREGULAR_PAST[token]
+    if len(token) > 4 and token.endswith("ied"):
+        return token[:-3] + "y"  # modified -> modify
+    if len(token) > 3 and token.endswith("ed"):
+        doubled = _DOUBLED_RE.search(token)
+        if doubled:
+            return token[:-3]  # stopped -> stop
+        if token.endswith(("ated", "used", "osed", "ized", "uted", "aced")):
+            return token[:-1]  # created -> create, used -> use
+        stem = token[:-2]
+        if stem.endswith(("at", "it", "et", "ut", "ir", "ur", "as", "os", "us")):
+            return stem + "e"
+        return stem
+    return token
+
+
+def tokenize(text: str) -> list[str]:
+    """Split lowercased text into alphanumeric tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def preprocess(text: str) -> list[str]:
+    """Full §4.4 pipeline: case → contractions → specials → stops → tense."""
+    text = expand_contractions(text)
+    text = remove_special_characters(text)
+    tokens = tokenize(text)
+    tokens = remove_stop_words(tokens)
+    return [normalize_tense(token) for token in tokens]

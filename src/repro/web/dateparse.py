@@ -1,0 +1,92 @@
+"""Multi-format date parsing for scraped pages.
+
+Each top domain renders dates differently (§4.1: "Each of the webpages
+may have a different structure"; some are not in English, e.g. jvn.jp).
+This module parses every format the per-domain extractors encounter:
+
+- ISO:           2011-02-07, 2011/02/07
+- US long:       February 7, 2011   /  Feb 7 2011  / Feb 07 2011
+- RFC 2822:      Mon, 7 Feb 2011 10:23:00 +0000
+- European:      7 February 2011
+- Japanese:      2011年02月07日  and  公開日：2011/02/07
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+
+__all__ = ["parse_date_any"]
+
+_MONTHS = {
+    "jan": 1, "january": 1,
+    "feb": 2, "february": 2,
+    "mar": 3, "march": 3,
+    "apr": 4, "april": 4,
+    "may": 5,
+    "jun": 6, "june": 6,
+    "jul": 7, "july": 7,
+    "aug": 8, "august": 8,
+    "sep": 9, "sept": 9, "september": 9,
+    "oct": 10, "october": 10,
+    "nov": 11, "november": 11,
+    "dec": 12, "december": 12,
+}
+
+_ISO_RE = re.compile(r"\b(\d{4})[-/](\d{1,2})[-/](\d{1,2})(?![0-9])")
+_US_RE = re.compile(
+    r"\b([A-Za-z]{3,9})\.?\s+(\d{1,2})(?:st|nd|rd|th)?,?\s+(\d{4})\b"
+)
+_EU_RE = re.compile(r"\b(\d{1,2})(?:st|nd|rd|th)?\s+([A-Za-z]{3,9})\.?,?\s+(\d{4})\b")
+_JP_RE = re.compile(r"(\d{4})年\s*(\d{1,2})月\s*(\d{1,2})日")
+
+
+def _build(year: int, month: int, day: int) -> datetime.date | None:
+    try:
+        return datetime.date(year, month, day)
+    except ValueError:
+        return None
+
+
+def parse_date_any(text: str) -> datetime.date | None:
+    """Parse the first recognizable date in ``text``, or None.
+
+    All formats compete by *position*: the match that starts earliest
+    in the text wins (ISO breaks ties), so a label-anchored window
+    returns the labelled date rather than a later decoy that happens
+    to be in a higher-priority format.  Two-digit day/month orderings
+    without month names (e.g. 02/07/2011) are deliberately not guessed
+    — ambiguous layouts are handled by layout-specific extractors.
+    """
+    candidates: list[tuple[int, int, datetime.date]] = []
+
+    for priority, (pattern, builder) in enumerate(
+        (
+            (_ISO_RE, lambda m: _build(int(m.group(1)), int(m.group(2)), int(m.group(3)))),
+            (_JP_RE, lambda m: _build(int(m.group(1)), int(m.group(2)), int(m.group(3)))),
+            (_US_RE, _build_us),
+            (_EU_RE, _build_eu),
+        )
+    ):
+        for match in pattern.finditer(text):
+            date = builder(match)
+            if date:
+                candidates.append((match.start(), priority, date))
+                break  # first valid match per format is enough
+    if not candidates:
+        return None
+    return min(candidates)[2]
+
+
+def _build_us(match: re.Match) -> datetime.date | None:
+    month = _MONTHS.get(match.group(1).lower())
+    if not month:
+        return None
+    return _build(int(match.group(3)), month, int(match.group(2)))
+
+
+def _build_eu(match: re.Match) -> datetime.date | None:
+    month = _MONTHS.get(match.group(2).lower())
+    if not month:
+        return None
+    return _build(int(match.group(3)), month, int(match.group(1)))

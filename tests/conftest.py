@@ -1,0 +1,28 @@
+"""Shared fixtures: one small synthetic bundle per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import GeneratorConfig, generate
+
+
+@pytest.fixture(scope="session")
+def bundle():
+    """A small, fully generated synthetic NVD bundle."""
+    return generate(GeneratorConfig(n_cves=1500, seed=42))
+
+
+@pytest.fixture(scope="session")
+def snapshot(bundle):
+    return bundle.snapshot
+
+
+@pytest.fixture(scope="session")
+def truth(bundle):
+    return bundle.truth
+
+
+@pytest.fixture(scope="session")
+def web(bundle):
+    return bundle.web

@@ -1,0 +1,146 @@
+"""Case-study analysis helpers (§5)."""
+
+import datetime
+
+import pytest
+
+from repro.analysis import (
+    day_of_week_counts,
+    mislabel_severity_breakdown,
+    sample_mislabeled_cves,
+    severity_distribution,
+    top_dates,
+    top_types_by_severity,
+    top_vendor_rankings,
+    yearly_severity_distributions,
+)
+from repro.analysis.lag import average_lag_by_v3_severity, lag_within
+from repro.core.dates import DisclosureEstimate
+from repro.cvss import Severity
+
+
+class TestTopDates:
+    def test_ranks_by_count(self):
+        dates = [datetime.date(2004, 12, 31)] * 5 + [datetime.date(2004, 3, 1)] * 2
+        top = top_dates(dates, k=2)
+        assert top[0].date == datetime.date(2004, 12, 31)
+        assert top[0].count == 5
+        assert top[0].day_of_week == "Fri"
+        assert top[0].percent_of_year == pytest.approx(5 / 7 * 100)
+
+    def test_k_limits_output(self):
+        dates = [datetime.date(2010, 1, d) for d in range(1, 11)]
+        assert len(top_dates(dates, k=3)) == 3
+
+    def test_percent_is_per_year(self):
+        dates = [datetime.date(2004, 12, 31)] * 3 + [datetime.date(2005, 1, 1)]
+        top = top_dates(dates, k=1)
+        assert top[0].percent_of_year == pytest.approx(100.0)
+
+
+class TestDayOfWeek:
+    def test_counts_ordered_sunday_first(self):
+        counts = day_of_week_counts(
+            [datetime.date(2018, 4, 2), datetime.date(2018, 4, 3)]  # Mon, Tue
+        )
+        assert list(counts) == ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"]
+        assert counts["Mon"] == 1 and counts["Tue"] == 1 and counts["Sun"] == 0
+
+
+class TestSeverityDistribution:
+    def test_percentages_sum_to_100(self):
+        dist = severity_distribution(
+            [Severity.LOW, Severity.MEDIUM, Severity.MEDIUM, Severity.HIGH]
+        )
+        assert sum(dist.values()) == pytest.approx(100.0)
+        assert dist[Severity.MEDIUM] == pytest.approx(50.0)
+
+    def test_empty(self):
+        assert severity_distribution([]) == {}
+
+    def test_yearly_distributions(self, snapshot):
+        pv3 = {
+            e.cve_id: Severity.HIGH for e in snapshot if e.cvss_v2 is not None
+        }
+        yearly = yearly_severity_distributions(snapshot, pv3)
+        assert yearly
+        for year, panels in yearly.items():
+            assert set(panels) == {"v2", "v3", "pv3"}
+            for dist in panels.values():
+                if dist:
+                    assert sum(dist.values()) == pytest.approx(100.0)
+
+
+class TestTopTypes:
+    def test_counts_filtered_by_level(self, snapshot):
+        severity_of = {e.cve_id: e.v2_severity for e in snapshot}
+        top = top_types_by_severity(snapshot, severity_of, Severity.HIGH, k=5)
+        assert len(top) <= 5
+        assert all(count > 0 for _, count in top)
+        assert all(not cwe.startswith("NVD-") for cwe, _ in top)
+
+    def test_memory_types_dominate_high(self, snapshot):
+        severity_of = {e.cve_id: e.v2_severity for e in snapshot}
+        top = top_types_by_severity(snapshot, severity_of, Severity.HIGH, k=10)
+        assert any(cwe in ("CWE-119", "CWE-89", "CWE-264") for cwe, _ in top[:3])
+
+
+class TestVendorRankings:
+    def test_rankings_shape(self, snapshot):
+        rankings = top_vendor_rankings(snapshot, k=10)
+        assert len(rankings.by_cves) == 10
+        assert len(rankings.by_products) == 10
+        counts = [count for _, count, _ in rankings.by_cves]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top_vendors_include_anchors(self, snapshot):
+        rankings = top_vendor_rankings(snapshot, k=10)
+        names = {vendor for vendor, _, _ in rankings.by_cves}
+        assert names & {"microsoft", "oracle", "apple", "ibm", "google"}
+
+    def test_mislabel_breakdown(self, bundle):
+        pv3 = {e.cve_id: Severity.CRITICAL for e in bundle.snapshot}
+        breakdown = mislabel_severity_breakdown(
+            bundle.truth.mislabeled_vendor_cves, bundle.snapshot, pv3
+        )
+        assert set(breakdown) == {"v2", "pv3"}
+        assert sum(breakdown["v2"].values()) == len(
+            [c for c in bundle.truth.mislabeled_vendor_cves if c in bundle.snapshot]
+        )
+
+    def test_sample_mislabeled_sorted_by_severity(self, bundle):
+        sample = sample_mislabeled_cves(
+            bundle.truth.mislabeled_vendor_cves, bundle.snapshot, k=10,
+            min_vendor_cves=1,
+        )
+        scores = [e.v2_score for e in sample]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestLag:
+    def make_estimates(self, lags):
+        return {
+            f"CVE-2010-{1000 + i}": DisclosureEstimate(
+                cve_id=f"CVE-2010-{1000 + i}",
+                published=datetime.date(2010, 1, 1) + datetime.timedelta(days=lag),
+                estimated_disclosure=datetime.date(2010, 1, 1),
+                n_reference_dates=1,
+            )
+            for i, lag in enumerate(lags)
+        }
+
+    def test_lag_within(self):
+        estimates = self.make_estimates([0, 0, 3, 10])
+        assert lag_within(estimates, 0) == pytest.approx(0.5)
+        assert lag_within(estimates, 6) == pytest.approx(0.75)
+        assert lag_within({}, 6) == 0.0
+
+    def test_average_lag_by_severity(self):
+        estimates = self.make_estimates([0, 10])
+        severities = {
+            "CVE-2010-1000": Severity.LOW,
+            "CVE-2010-1001": Severity.HIGH,
+        }
+        means = average_lag_by_v3_severity(estimates, severities)
+        assert means[Severity.LOW] == 0.0
+        assert means[Severity.HIGH] == 10.0

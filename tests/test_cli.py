@@ -1,0 +1,69 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.nvd import NvdSnapshot, load_feed
+
+
+@pytest.fixture()
+def feed_path(tmp_path):
+    path = tmp_path / "snapshot.json.gz"
+    assert main(["generate", "--n-cves", "300", "--seed", "3", "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_loadable_feed(self, feed_path):
+        entries = load_feed(feed_path)
+        assert len(entries) == 300
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["generate", "--n-cves", "100", "--seed", "9", "--out", str(a)])
+        main(["generate", "--n-cves", "100", "--seed", "9", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestStats:
+    def test_prints_summary(self, feed_path, capsys):
+        assert main(["stats", str(feed_path)]) == 0
+        out = capsys.readouterr().out
+        assert "CVEs" in out and "300" in out
+
+
+class TestFixCwe:
+    def test_recovers_labels_and_writes_feed(self, feed_path, tmp_path, capsys):
+        out_path = tmp_path / "fixed.json.gz"
+        assert main(["fix-cwe", str(feed_path), "--out", str(out_path)]) == 0
+        fixed = NvdSnapshot(load_feed(out_path))
+        original = NvdSnapshot(load_feed(feed_path))
+        assert len(fixed) == len(original)
+        assert len(fixed.missing_cwe()) <= len(original.missing_cwe())
+        assert "CWE recovery" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_runs_pipeline_and_reports(self, tmp_path, capsys):
+        out_path = tmp_path / "rectified.json"
+        code = main(
+            [
+                "demo", "--n-cves", "400", "--seed", "5",
+                "--epochs", "3", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cleaning report" in out
+        assert out_path.exists()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,121 @@
+"""Disclosure-date estimation (§4.1)."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_all,
+    estimate_disclosure,
+    improvement_by_severity,
+    lag_cdf,
+)
+from repro.core.dates import mean_lag_by_severity
+from repro.cvss import Severity
+from repro.nvd import CveEntry, Reference
+from repro.synth import SyntheticWeb
+from repro.web import ReferenceCrawler
+
+
+def entry_with_refs(urls, published=datetime.date(2011, 3, 14)):
+    return CveEntry(
+        cve_id="CVE-2011-0700",
+        published=published,
+        descriptions=("XSS",),
+        references=tuple(Reference(u) for u in urls),
+    )
+
+
+class TestEstimateOne:
+    def test_paper_example_month_earlier(self):
+        # CVE-2011-0700: NVD date 2011-03-14, advisory on 2011-02-07.
+        web = SyntheticWeb()
+        url = "https://www.securityfocus.com/bid/46249"
+        web.add_page(url, datetime.date(2011, 2, 7))
+        estimate = estimate_disclosure(entry_with_refs([url]), ReferenceCrawler(web))
+        assert estimate.estimated_disclosure == datetime.date(2011, 2, 7)
+        assert estimate.lag_days == 35
+        assert estimate.improved
+
+    def test_no_references_means_publication_date(self):
+        estimate = estimate_disclosure(
+            entry_with_refs([]), ReferenceCrawler(SyntheticWeb())
+        )
+        assert estimate.estimated_disclosure == datetime.date(2011, 3, 14)
+        assert estimate.lag_days == 0
+        assert not estimate.improved
+
+    def test_later_reference_dates_never_raise_estimate(self):
+        web = SyntheticWeb()
+        url = "https://www.securityfocus.com/bid/1"
+        web.add_page(url, datetime.date(2012, 1, 1))  # after publication
+        estimate = estimate_disclosure(entry_with_refs([url]), ReferenceCrawler(web))
+        assert estimate.estimated_disclosure == datetime.date(2011, 3, 14)
+
+    def test_minimum_across_many_references(self):
+        web = SyntheticWeb()
+        urls = [
+            "https://www.securityfocus.com/bid/1",
+            "https://bugzilla.redhat.com/show_bug.cgi?id=2",
+        ]
+        web.add_page(urls[0], datetime.date(2011, 2, 7))
+        web.add_page(urls[1], datetime.date(2011, 1, 20))
+        estimate = estimate_disclosure(entry_with_refs(urls), ReferenceCrawler(web))
+        assert estimate.estimated_disclosure == datetime.date(2011, 1, 20)
+        assert estimate.n_reference_dates == 2
+
+    def test_dead_domain_contributes_nothing(self):
+        web = SyntheticWeb()
+        url = "https://osvdb.org/show/1"
+        web.add_page(url, datetime.date(2011, 1, 1))
+        estimate = estimate_disclosure(entry_with_refs([url]), ReferenceCrawler(web))
+        assert estimate.estimated_disclosure == datetime.date(2011, 3, 14)
+
+
+class TestEstimateAll:
+    def test_recovers_most_true_disclosures(self, bundle):
+        estimates = estimate_all(bundle.snapshot, bundle.web)
+        exact = sum(
+            1
+            for cve_id, estimate in estimates.items()
+            if estimate.estimated_disclosure == bundle.truth.disclosure[cve_id]
+        )
+        assert exact / len(estimates) >= 0.9
+
+    def test_lag_never_negative(self, bundle):
+        estimates = estimate_all(bundle.snapshot, bundle.web)
+        assert all(e.lag_days >= 0 for e in estimates.values())
+
+    def test_zero_lag_share_matches_figure1(self, bundle):
+        estimates = estimate_all(bundle.snapshot, bundle.web)
+        zero = sum(1 for e in estimates.values() if e.lag_days == 0)
+        assert 0.28 <= zero / len(estimates) <= 0.52
+
+
+class TestAggregations:
+    def test_lag_cdf_monotone(self, bundle):
+        estimates = estimate_all(bundle.snapshot, bundle.web)
+        lags, cdf = lag_cdf(estimates)
+        assert np.all(np.diff(lags) >= 0)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_lag_cdf_empty(self):
+        lags, cdf = lag_cdf({})
+        assert lags.size == 0 and cdf.size == 0
+
+    def test_improvement_skews_to_high_severity(self, bundle):
+        # §4.1: 37% low vs 65% high severity improved.
+        estimates = estimate_all(bundle.snapshot, bundle.web)
+        improved = improvement_by_severity(bundle.snapshot, estimates)
+        assert improved[Severity.HIGH] > improved[Severity.LOW]
+
+    def test_mean_lag_by_severity(self, bundle):
+        estimates = estimate_all(bundle.snapshot, bundle.web)
+        severity_of = {
+            e.cve_id: e.v2_severity for e in bundle.snapshot if e.v2_severity
+        }
+        means = mean_lag_by_severity(estimates, severity_of)
+        assert all(value >= 0 for value in means.values())
+        assert Severity.MEDIUM in means

@@ -1,0 +1,53 @@
+"""Confirmation oracles."""
+
+from repro.core import (
+    from_ground_truth,
+    heuristic_product_confirm,
+    heuristic_vendor_confirm,
+    product_oracle_from_truth,
+)
+
+
+class TestGroundTruthOracles:
+    def test_vendor_oracle_matches_group(self):
+        confirm = from_ground_truth({"microsft": "microsoft", "ms": "microsoft"})
+        assert confirm("microsft", "microsoft")
+        assert confirm("microsft", "ms")
+        assert not confirm("microsft", "oracle")
+
+    def test_vendor_oracle_is_symmetric(self):
+        confirm = from_ground_truth({"bea": "bea_systems"})
+        assert confirm("bea", "bea_systems") == confirm("bea_systems", "bea")
+
+    def test_product_oracle(self):
+        confirm = product_oracle_from_truth(
+            {("microsoft", "ie"): "internet_explorer"}
+        )
+        assert confirm("microsoft", "ie", "internet_explorer")
+        assert not confirm("mozilla", "ie", "internet_explorer")
+
+
+class TestHeuristicOracles:
+    def test_token_identity_confirms(self):
+        assert heuristic_vendor_confirm("avast", "avast!")
+        assert heuristic_vendor_confirm("bea_systems", "bea-systems")
+
+    def test_prefix_with_substring_confirms(self):
+        assert heuristic_vendor_confirm("lynx", "lynx_project")
+
+    def test_unrelated_rejected(self):
+        assert not heuristic_vendor_confirm("oracle", "debian")
+
+    def test_short_prefix_rejected(self):
+        assert not heuristic_vendor_confirm("ab", "abacus")
+
+    def test_product_token_identity_confirms(self):
+        assert heuristic_product_confirm(
+            "microsoft", "internet-explorer", "internet_explorer"
+        )
+
+    def test_product_edit_distance_rejected(self):
+        # The cisco firmware case: similar strings, different products.
+        assert not heuristic_product_confirm(
+            "cisco", "ucs-e160dp-m1_firmware", "ucs-e140dp-m1_firmware"
+        )

@@ -1,0 +1,137 @@
+"""Product-name consolidation (§4.2)."""
+
+import datetime
+
+import pytest
+
+from repro.core import analyze_products, apply_product_mapping
+from repro.core.products import edit_distance, product_candidate_pairs
+from repro.cpe import CpeName
+from repro.nvd import CveEntry, NvdSnapshot
+
+
+def entry(cve_id, vendor, product):
+    return CveEntry(
+        cve_id=cve_id,
+        published=datetime.date(2015, 5, 1),
+        descriptions=("d",),
+        cpes=(CpeName("a", vendor, product),),
+    )
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("the_banner_engine", "tbe_banner_engine", 1),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("kitten", "sitting", 3),
+        ],
+    )
+    def test_distances(self, a, b, expected):
+        assert edit_distance(a, b, cap=3) == expected
+
+    def test_cap_early_exit(self):
+        assert edit_distance("aaaaaaaa", "zzzzzzzz", cap=2) == 3
+
+    def test_length_gap_short_circuit(self):
+        assert edit_distance("a", "aaaaa", cap=2) == 3
+
+
+class TestCandidatePairs:
+    def test_separator_variants_flagged(self):
+        # Paper: internet-explorer / internet_explorer / internet explorer.
+        pairs = product_candidate_pairs(
+            {"microsoft": {"internet-explorer", "internet_explorer"}}
+        )
+        assert any(p.heuristic == "tokens" for p in pairs)
+
+    def test_abbreviation_flagged(self):
+        # Paper: internet-explorer / ie.
+        pairs = product_candidate_pairs({"microsoft": {"internet-explorer", "ie"}})
+        assert any(p.heuristic == "abbreviation" for p in pairs)
+
+    def test_edit_distance_flagged(self):
+        # Paper: tbe_banner_engine / the_banner_engine.
+        pairs = product_candidate_pairs(
+            {"nativesolutions": {"tbe_banner_engine", "the_banner_engine"}}
+        )
+        assert any(p.heuristic == "edit-distance" for p in pairs)
+
+    def test_cisco_firmware_models_flagged_but_distinct(self):
+        # ucs-e160dp-m1 vs ucs-e140dp-m1: edit distance 1 but genuinely
+        # different products — candidates must include them so that the
+        # confirmation step can reject.
+        pairs = product_candidate_pairs(
+            {"cisco": {"ucs-e160dp-m1_firmware", "ucs-e140dp-m1_firmware"}}
+        )
+        assert any(p.heuristic == "edit-distance" for p in pairs)
+
+    def test_different_vendors_never_paired(self):
+        pairs = product_candidate_pairs(
+            {"microsoft": {"internet-explorer"}, "mozilla": {"internet_explorer"}}
+        )
+        assert pairs == []
+
+
+class TestAnalyzeAndApply:
+    @pytest.fixture()
+    def inconsistent_snapshot(self):
+        return NvdSnapshot(
+            [
+                entry("CVE-2015-1001", "nativesolutions", "the_banner_engine"),
+                entry("CVE-2015-1002", "nativesolutions", "the_banner_engine"),
+                entry("CVE-2015-1003", "nativesolutions", "tbe_banner_engine"),
+                entry("CVE-2015-1004", "cisco", "ucs-e160dp-m1_firmware"),
+                entry("CVE-2015-1005", "cisco", "ucs-e140dp-m1_firmware"),
+            ]
+        )
+
+    def test_truth_oracle_merges_typo_not_models(self, inconsistent_snapshot):
+        truth = {("nativesolutions", "tbe_banner_engine"): "the_banner_engine"}
+
+        def confirm(vendor, a, b):
+            def canonical(name):
+                return truth.get((vendor, name), name)
+
+            return canonical(a) == canonical(b)
+
+        analysis = analyze_products(inconsistent_snapshot, confirm)
+        assert analysis.mapping == {
+            ("nativesolutions", "tbe_banner_engine"): "the_banner_engine"
+        }
+        assert analysis.n_vendors_affected == 1
+
+    def test_apply_mapping(self, inconsistent_snapshot):
+        mapping = {("nativesolutions", "tbe_banner_engine"): "the_banner_engine"}
+        remapped = apply_product_mapping(inconsistent_snapshot, mapping)
+        products = {p for e in remapped for p in e.products}
+        assert "tbe_banner_engine" not in products
+        counts = remapped.product_cve_counts()
+        assert counts[("nativesolutions", "the_banner_engine")] == 3
+
+    def test_rejecting_oracle_changes_nothing(self, inconsistent_snapshot):
+        analysis = analyze_products(inconsistent_snapshot, lambda v, a, b: False)
+        assert analysis.mapping == {}
+
+    def test_group_recovery_on_synthetic_bundle(self, bundle):
+        from repro.core import product_oracle_from_truth
+
+        analysis = analyze_products(
+            bundle.snapshot, product_oracle_from_truth(bundle.truth.product_map)
+        )
+        counts = bundle.snapshot.product_cve_counts()
+
+        recovered = 0
+        applicable = 0
+        for (vendor, variant), canonical in bundle.truth.product_map.items():
+            if (vendor, variant) in counts and (vendor, canonical) in counts:
+                applicable += 1
+                mapped_variant = analysis.mapping.get((vendor, variant), variant)
+                mapped_canonical = analysis.mapping.get((vendor, canonical), canonical)
+                if mapped_variant == mapped_canonical:
+                    recovered += 1
+        if applicable:
+            assert recovered / applicable >= 0.75

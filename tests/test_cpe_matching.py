@@ -1,0 +1,61 @@
+"""CPE matching semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpe import ANY, NA, CpeName, cpe_match, is_subset
+
+
+def name(vendor="microsoft", product="windows", version=ANY, part="a"):
+    return CpeName(part, vendor, product, version=version)
+
+
+class TestMatching:
+    def test_any_matches_concrete(self):
+        assert cpe_match(name(version=ANY), name(version="8.1"))
+
+    def test_concrete_does_not_match_any(self):
+        assert not cpe_match(name(version="8.1"), name(version=ANY))
+
+    def test_equal_concrete_values_match(self):
+        assert cpe_match(name(version="8.1"), name(version="8.1"))
+
+    def test_different_concrete_values_do_not_match(self):
+        assert not cpe_match(name(version="8.1"), name(version="10"))
+
+    def test_na_matches_only_na(self):
+        assert cpe_match(name(version=NA), name(version=NA))
+        assert not cpe_match(name(version=NA), name(version="8.1"))
+
+    def test_part_must_agree(self):
+        assert not cpe_match(name(part="a"), name(part="o"))
+
+    def test_wildcard_pattern_in_value(self):
+        assert cpe_match(name(version="8.*"), name(version="8.1"))
+        assert not cpe_match(name(version="8.*"), name(version="9.0"))
+
+    def test_vendor_mismatch(self):
+        assert not cpe_match(name(vendor="microsoft"), name(vendor="microsft"))
+
+
+class TestSubset:
+    def test_concrete_is_subset_of_any(self):
+        assert is_subset(name(version="8.1"), name(version=ANY))
+
+    def test_any_not_subset_of_concrete(self):
+        assert not is_subset(name(version=ANY), name(version="8.1"))
+
+
+versions = st.one_of(st.just(ANY), st.just(NA), st.sampled_from(["1.0", "2.0", "8.1"]))
+
+
+@given(versions)
+def test_match_reflexive(version):
+    candidate = name(version=version)
+    assert cpe_match(candidate, candidate)
+
+
+@given(versions, versions)
+def test_any_pattern_matches_everything(pattern_version, candidate_version):
+    pattern = name(version=ANY)
+    candidate = name(version=candidate_version)
+    assert cpe_match(pattern, candidate)

@@ -1,0 +1,68 @@
+"""Table 1 severity banding."""
+
+import pytest
+
+from repro.cvss import SEVERITY_ORDER, Severity, severity_v2, severity_v3
+
+
+class TestV2Bands:
+    @pytest.mark.parametrize(
+        "score,expected",
+        [
+            (0.0, Severity.LOW),
+            (3.9, Severity.LOW),
+            (4.0, Severity.MEDIUM),
+            (6.9, Severity.MEDIUM),
+            (7.0, Severity.HIGH),
+            (10.0, Severity.HIGH),
+        ],
+    )
+    def test_thresholds(self, score, expected):
+        assert severity_v2(score) is expected
+
+    def test_no_none_or_critical_in_v2(self):
+        labels = {severity_v2(s / 10) for s in range(0, 101)}
+        assert Severity.NONE not in labels
+        assert Severity.CRITICAL not in labels
+
+
+class TestV3Bands:
+    @pytest.mark.parametrize(
+        "score,expected",
+        [
+            (0.0, Severity.NONE),
+            (0.1, Severity.LOW),
+            (3.9, Severity.LOW),
+            (4.0, Severity.MEDIUM),
+            (6.9, Severity.MEDIUM),
+            (7.0, Severity.HIGH),
+            (8.9, Severity.HIGH),
+            (9.0, Severity.CRITICAL),
+            (10.0, Severity.CRITICAL),
+        ],
+    )
+    def test_thresholds(self, score, expected):
+        assert severity_v3(score) is expected
+
+
+class TestCommon:
+    @pytest.mark.parametrize("bad", [-0.1, 10.1, 999])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError):
+            severity_v2(bad)
+        with pytest.raises(ValueError):
+            severity_v3(bad)
+
+    def test_order_is_total(self):
+        ordered = sorted(Severity, key=SEVERITY_ORDER.__getitem__)
+        assert ordered == [
+            Severity.NONE,
+            Severity.LOW,
+            Severity.MEDIUM,
+            Severity.HIGH,
+            Severity.CRITICAL,
+        ]
+
+    def test_abbreviations(self):
+        assert Severity.CRITICAL.abbreviation == "C"
+        assert Severity.NONE.abbreviation == "-"

@@ -1,0 +1,135 @@
+"""CVSS v2 scoring against official calculator values."""
+
+import pytest
+
+from repro.cvss import CvssV2Metrics, parse_v2_vector, score_v2, v2_vector_string
+from repro.cvss.v2 import CvssV2Scores
+
+
+def metrics(av="N", ac="L", au="N", c="P", i="P", a="P", **kw) -> CvssV2Metrics:
+    return CvssV2Metrics(av, ac, au, c, i, a, **kw)
+
+
+class TestBaseScore:
+    def test_classic_partial_triple_is_7_5(self):
+        # CVE-2002-0392 in the spec: AV:N/AC:L/Au:N/C:P/I:P/A:P = 7.5.
+        assert score_v2(metrics()).base == 7.5
+
+    def test_complete_triple_remote_is_10(self):
+        assert score_v2(metrics(c="C", i="C", a="C")).base == 10.0
+
+    def test_spec_example_local_high_complexity(self):
+        # CVE-2003-0062: AV:L/AC:H/Au:N/C:C/I:C/A:C = 6.2.
+        assert score_v2(metrics(av="L", ac="H", c="C", i="C", a="C")).base == 6.2
+
+    def test_classic_xss_is_4_3(self):
+        assert score_v2(metrics(ac="M", c="N", i="P", a="N")).base == 4.3
+
+    def test_no_impact_scores_zero(self):
+        assert score_v2(metrics(c="N", i="N", a="N")).base == 0.0
+
+    def test_impact_subscore_zero_when_all_none(self):
+        assert score_v2(metrics(c="N", i="N", a="N")).impact == 0.0
+
+    def test_exploitability_subscore_max(self):
+        scores = score_v2(metrics())
+        assert scores.exploitability == pytest.approx(10.0, abs=0.01)
+
+    def test_score_in_range_and_one_decimal(self):
+        scores = score_v2(metrics(av="A", ac="M", au="S", c="P", i="N", a="C"))
+        assert 0.0 <= scores.base <= 10.0
+        assert round(scores.base, 1) == scores.base
+
+    def test_returns_scores_dataclass(self):
+        assert isinstance(score_v2(metrics()), CvssV2Scores)
+
+
+class TestTemporalEnvironmental:
+    def test_temporal_none_when_not_defined(self):
+        assert score_v2(metrics()).temporal is None
+
+    def test_temporal_reduces_base(self):
+        scores = score_v2(
+            metrics(exploitability="U", remediation_level="OF", report_confidence="UC")
+        )
+        assert scores.temporal is not None
+        assert scores.temporal < scores.base
+
+    def test_temporal_spec_example(self):
+        # Spec CVE-2002-0392 temporal: E:F/RL:OF/RC:C => 7.5*0.95*0.87*1.0 = 6.2.
+        scores = score_v2(
+            metrics(exploitability="F", remediation_level="OF", report_confidence="C")
+        )
+        assert scores.temporal == 6.2
+
+    def test_environmental_none_when_not_defined(self):
+        assert score_v2(metrics()).environmental is None
+
+    def test_environmental_zero_target_distribution(self):
+        scores = score_v2(metrics(target_distribution="N"))
+        assert scores.environmental == 0.0
+
+    def test_environmental_with_collateral_damage(self):
+        scores = score_v2(metrics(collateral_damage="H", target_distribution="H"))
+        assert scores.environmental is not None
+        assert scores.environmental > 0
+
+    def test_environmental_requirements_raise_impact(self):
+        low = score_v2(metrics(confidentiality_req="L", target_distribution="H"))
+        high = score_v2(metrics(confidentiality_req="H", target_distribution="H"))
+        assert high.environmental >= low.environmental
+
+
+class TestValidation:
+    def test_rejects_bad_access_vector(self):
+        with pytest.raises(ValueError, match="access_vector"):
+            CvssV2Metrics("X", "L", "N", "P", "P", "P")
+
+    def test_rejects_bad_impact(self):
+        with pytest.raises(ValueError, match="confidentiality"):
+            CvssV2Metrics("N", "L", "N", "Z", "P", "P")
+
+    def test_rejects_bad_temporal(self):
+        with pytest.raises(ValueError, match="exploitability"):
+            metrics(exploitability="WRONG")
+
+
+class TestVectorStrings:
+    def test_canonical_string(self):
+        assert v2_vector_string(metrics()) == "AV:N/AC:L/Au:N/C:P/I:P/A:P"
+
+    def test_optional_metrics_included_when_asked(self):
+        text = v2_vector_string(
+            metrics(exploitability="F"), include_optional=True
+        )
+        assert text.endswith("/E:F")
+
+    def test_parse_round_trip(self):
+        original = metrics(av="A", ac="H", au="S", c="C", i="N", a="P")
+        assert parse_v2_vector(v2_vector_string(original)) == original
+
+    def test_parse_accepts_parenthesized_form(self):
+        parsed = parse_v2_vector("(AV:N/AC:L/Au:N/C:P/I:P/A:P)")
+        assert parsed == metrics()
+
+    def test_parse_rejects_missing_base_metric(self):
+        with pytest.raises(ValueError, match="missing base metrics"):
+            parse_v2_vector("AV:N/AC:L/Au:N/C:P/I:P")
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown"):
+            parse_v2_vector("AV:N/AC:L/Au:N/C:P/I:P/A:P/QQ:Z")
+
+    def test_parse_rejects_duplicate_key(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_v2_vector("AV:N/AV:L/AC:L/Au:N/C:P/I:P/A:P")
+
+    def test_parse_rejects_malformed_component(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_v2_vector("AV:N/ACL/Au:N/C:P/I:P/A:P")
+
+    def test_parse_with_temporal_metrics(self):
+        parsed = parse_v2_vector("AV:N/AC:L/Au:N/C:P/I:P/A:P/E:POC/RL:W/RC:UR")
+        assert parsed.exploitability == "POC"
+        assert parsed.remediation_level == "W"
+        assert parsed.report_confidence == "UR"

@@ -1,0 +1,139 @@
+"""CVSS v3 scoring against official calculator values."""
+
+import pytest
+
+from repro.cvss import CvssV3Metrics, parse_v3_vector, score_v3, v3_vector_string
+from repro.cvss.v3 import roundup
+
+
+def metrics(
+    av="N", ac="L", pr="N", ui="N", s="U", c="H", i="H", a="H", **kw
+) -> CvssV3Metrics:
+    return CvssV3Metrics(av, ac, pr, ui, s, c, i, a, **kw)
+
+
+class TestRoundup:
+    def test_exact_tenths_unchanged(self):
+        assert roundup(4.0) == 4.0
+        assert roundup(9.8) == 9.8
+
+    def test_rounds_up_not_nearest(self):
+        assert roundup(4.02) == 4.1
+        assert roundup(4.00001) == 4.1
+
+    def test_v30_uses_plain_ceiling(self):
+        assert roundup(4.02, spec="3.0") == 4.1
+
+    def test_float_artifact_case(self):
+        # The motivating case for v3.1's integer roundup: 8.6*0.915.
+        assert roundup(8.6 * 0.915) == 7.9
+
+
+class TestBaseScore:
+    def test_full_network_rce_is_9_8(self):
+        assert score_v3(metrics()).base == 9.8
+
+    def test_classic_xss_is_6_1(self):
+        xss = metrics(ac="L", pr="N", ui="R", s="C", c="L", i="L", a="N")
+        assert score_v3(xss).base == 6.1
+
+    def test_no_impact_scores_zero(self):
+        assert score_v3(metrics(c="N", i="N", a="N")).base == 0.0
+
+    def test_local_high_complexity_lower(self):
+        hard = metrics(av="L", ac="H", pr="H", ui="R")
+        assert score_v3(hard).base < score_v3(metrics()).base
+
+    def test_scope_change_raises_score(self):
+        changed = metrics(s="C", c="L", i="L", a="N")
+        unchanged = metrics(s="U", c="L", i="L", a="N")
+        assert score_v3(changed).base > score_v3(unchanged).base
+
+    def test_privileges_required_changed_scope_weights(self):
+        # PR:L weighs 0.62 unchanged but 0.68 when scope changes.
+        changed = metrics(pr="L", s="C")
+        unchanged = metrics(pr="L", s="U")
+        assert changed.scope_changed and not unchanged.scope_changed
+        assert score_v3(changed).exploitability > score_v3(unchanged).exploitability
+
+    def test_physical_vector_is_weakest(self):
+        scores = {
+            av: score_v3(metrics(av=av)).base for av in ("N", "A", "L", "P")
+        }
+        assert scores["P"] < scores["L"] < scores["A"] < scores["N"]
+
+    def test_capped_at_10(self):
+        assert score_v3(metrics(s="C")).base == 10.0
+
+    def test_spec_30_and_31_agree_on_common_vectors(self):
+        for m in (metrics(), metrics(s="C", c="L", i="N", a="N")):
+            assert score_v3(m, spec="3.0").base == score_v3(m, spec="3.1").base
+
+
+class TestTemporalEnvironmental:
+    def test_temporal_none_by_default(self):
+        assert score_v3(metrics()).temporal is None
+
+    def test_temporal_lowers_score(self):
+        scores = score_v3(
+            metrics(
+                exploit_code_maturity="U",
+                remediation_level="O",
+                report_confidence="U",
+            )
+        )
+        assert scores.temporal is not None
+        assert scores.temporal < scores.base
+
+    def test_environmental_none_by_default(self):
+        assert score_v3(metrics()).environmental is None
+
+    def test_environmental_requirements_shift_score(self):
+        low = score_v3(metrics(confidentiality_req="L"))
+        high = score_v3(metrics(confidentiality_req="H"))
+        assert low.environmental is not None and high.environmental is not None
+        assert high.environmental >= low.environmental
+
+
+class TestValidation:
+    def test_rejects_bad_scope(self):
+        with pytest.raises(ValueError, match="scope"):
+            CvssV3Metrics("N", "L", "N", "N", "X", "H", "H", "H")
+
+    def test_rejects_bad_attack_vector(self):
+        with pytest.raises(ValueError, match="attack_vector"):
+            CvssV3Metrics("Q", "L", "N", "N", "U", "H", "H", "H")
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ValueError, match="spec"):
+            score_v3(metrics(), spec="4.0")
+
+
+class TestVectorStrings:
+    def test_canonical_string(self):
+        assert (
+            v3_vector_string(metrics())
+            == "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+        )
+
+    def test_round_trip(self):
+        original = metrics(av="A", ac="H", pr="L", ui="R", s="C", c="L", i="N", a="H")
+        assert parse_v3_vector(v3_vector_string(original)) == original
+
+    def test_parse_rejects_non_v3(self):
+        with pytest.raises(ValueError, match="not a CVSS v3"):
+            parse_v3_vector("AV:N/AC:L/Au:N/C:P/I:P/A:P")
+
+    def test_parse_rejects_missing_metrics(self):
+        with pytest.raises(ValueError, match="missing base metrics"):
+            parse_v3_vector("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H")
+
+    def test_parse_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_v3_vector("CVSS:3.1/AV:N/AV:L/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+    def test_optional_metrics_round_trip(self):
+        original = metrics(exploit_code_maturity="F", confidentiality_req="H")
+        text = v3_vector_string(original, include_optional=True)
+        assert "E:F" in text and "CR:H" in text
+        assert parse_v3_vector(text) == original

@@ -1,0 +1,110 @@
+"""Robustness under degraded inputs: flaky web, garbage pages, bad feeds."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.core import estimate_disclosure
+from repro.nvd import CveEntry, Reference, entries_from_feed
+from repro.web import ReferenceCrawler
+
+
+class FlakyWeb:
+    """A web client that fails every other fetch."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def fetch(self, url):
+        self.calls += 1
+        if self.calls % 2 == 0:
+            return None
+        return self.inner.fetch(url)
+
+
+class GarbageWeb:
+    """A web client that serves undated or malformed pages."""
+
+    def __init__(self, pages):
+        self.pages = pages
+
+    def fetch(self, url):
+        return self.pages.get(url)
+
+
+def make_entry(urls):
+    return CveEntry(
+        cve_id="CVE-2013-0001",
+        published=datetime.date(2013, 6, 1),
+        descriptions=("d",),
+        references=tuple(Reference(u) for u in urls),
+    )
+
+
+class TestFlakyFetches:
+    def test_estimation_degrades_gracefully(self, web):
+        flaky = FlakyWeb(web)
+        entry = make_entry(["https://www.securityfocus.com/x"])
+        estimate = estimate_disclosure(entry, ReferenceCrawler(flaky))
+        # No crash; falls back to the publication date when unlucky.
+        assert estimate.estimated_disclosure <= entry.published
+
+    def test_counters_track_failures(self, web):
+        crawler = ReferenceCrawler(FlakyWeb(web))
+        for _ in range(4):
+            crawler.scrape_url("https://www.securityfocus.com/missing")
+        assert crawler.counters["fetch_failed"] >= 1
+
+
+class TestGarbagePages:
+    @pytest.mark.parametrize(
+        "page",
+        [
+            "",
+            "<html><body>no dates at all</body></html>",
+            "<html>Published: not-a-date</html>",
+            "Published: 99/99/9999",
+            "\x00\x01 binary garbage \xff",
+            "<html>" + "a" * 100_000 + "</html>",
+        ],
+    )
+    def test_undated_pages_yield_nothing(self, page):
+        client = GarbageWeb({"https://www.securityfocus.com/x": page})
+        crawler = ReferenceCrawler(client)
+        assert crawler.scrape_url("https://www.securityfocus.com/x") is None
+
+    def test_estimation_ignores_garbage_references(self):
+        client = GarbageWeb(
+            {"https://www.securityfocus.com/x": "<html>Published: garbage</html>"}
+        )
+        entry = make_entry(["https://www.securityfocus.com/x"])
+        estimate = estimate_disclosure(entry, ReferenceCrawler(client))
+        assert estimate.estimated_disclosure == entry.published
+        assert estimate.n_reference_dates == 0
+
+
+class TestMalformedFeeds:
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError):
+            entries_from_feed({"CVE_data_type": "NOT-CVE"})
+
+    def test_missing_items_treated_as_empty(self):
+        assert entries_from_feed({"CVE_data_type": "CVE"}) == []
+
+    def test_malformed_item_raises(self):
+        feed = {"CVE_data_type": "CVE", "CVE_Items": [{"not": "an item"}]}
+        with pytest.raises(KeyError):
+            entries_from_feed(feed)
+
+    def test_json_round_trip_preserves_unicode(self):
+        entry = CveEntry(
+            cve_id="CVE-2013-0002",
+            published=datetime.date(2013, 1, 1),
+            descriptions=("説明 — ユニコード",),
+        )
+        from repro.nvd import entries_to_feed
+
+        feed = json.loads(json.dumps(entries_to_feed([entry]), ensure_ascii=False))
+        assert entries_from_feed(feed)[0].descriptions[0] == "説明 — ユニコード"

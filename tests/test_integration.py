@@ -1,0 +1,60 @@
+"""Cross-module integration tests."""
+
+import pytest
+
+from repro.core import analyze_vendors, from_ground_truth
+from repro.nvd import NvdSnapshot, entries_from_feed, entries_to_feed
+from repro.synth import generate_securityfocus, generate_securitytracker
+
+
+class TestFeedIntegration:
+    def test_full_snapshot_survives_feed_round_trip(self, snapshot):
+        feed = entries_to_feed(snapshot.entries)
+        recovered = NvdSnapshot(entries_from_feed(feed))
+        assert len(recovered) == len(snapshot)
+        assert recovered.stats() == snapshot.stats()
+
+
+class TestCrossDatabaseMapping:
+    """§4.2: the NVD-derived mapping transfers to other databases."""
+
+    def test_mapping_corrects_securityfocus_names(self, bundle):
+        analysis = analyze_vendors(
+            bundle.snapshot, from_ground_truth(bundle.truth.vendor_map)
+        )
+        focus = generate_securityfocus(bundle.truth.universe, bundle.truth.vendor_map)
+        correctable = [
+            name for name in focus.vendor_names if name in analysis.mapping
+        ]
+        # The shared variants must be correctable by the NVD mapping.
+        applicable = [
+            name for name in focus.truth_map
+            if name in analysis.mapping or name not in bundle.snapshot.vendors()
+        ]
+        assert correctable
+        for name in correctable:
+            assert analysis.mapping[name] == focus.truth_map.get(
+                name, analysis.mapping[name]
+            )
+
+    def test_securitytracker_rate_lower_than_securityfocus(self, bundle):
+        focus = generate_securityfocus(bundle.truth.universe, bundle.truth.vendor_map)
+        tracker = generate_securitytracker(
+            bundle.truth.universe, bundle.truth.vendor_map
+        )
+        focus_rate = len(focus.truth_map) / focus.distinct_vendors()
+        tracker_rate = len(tracker.truth_map) / tracker.distinct_vendors()
+        assert tracker_rate < focus_rate
+
+
+class TestScaleConsistency:
+    def test_vendor_ratio_tracks_population(self, snapshot):
+        stats = snapshot.stats()
+        # §3: 18.9K vendors / 107.2K CVEs; the generator universe keeps
+        # the same order of magnitude at any scale.
+        assert 0.03 <= stats.n_vendors / stats.n_cves <= 0.5
+
+    def test_cwe_population_large(self, snapshot):
+        # §3: CVEs categorised into hundreds of types; the catalog
+        # carries ~160, most of which should appear at moderate scale.
+        assert snapshot.stats().n_cwe_types >= 100

@@ -1,0 +1,135 @@
+"""Sentence encoder and evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml import (
+    HashingSentenceEncoder,
+    accuracy,
+    average_error,
+    average_error_rate,
+    confusion_matrix,
+    per_class_accuracy,
+    stratified_split,
+)
+
+
+class TestEncoder:
+    def test_output_shape_is_512(self):
+        encoder = HashingSentenceEncoder()
+        assert encoder.encode("SQL injection in login.php").shape == (512,)
+
+    def test_batch_matches_single(self):
+        encoder = HashingSentenceEncoder()
+        texts = ["buffer overflow", "cross-site scripting"]
+        batch = encoder.encode_batch(texts)
+        np.testing.assert_allclose(batch[0], encoder.encode(texts[0]), atol=1e-12)
+
+    def test_deterministic_across_instances(self):
+        a = HashingSentenceEncoder(seed=7).encode("use after free")
+        b = HashingSentenceEncoder(seed=7).encode("use after free")
+        np.testing.assert_array_equal(a, b)
+
+    def test_similar_texts_closer_than_different(self):
+        encoder = HashingSentenceEncoder()
+        sqli_a = encoder.encode(
+            "SQL injection vulnerability allows attackers to execute SQL commands"
+        )
+        sqli_b = encoder.encode(
+            "SQL injection in search allows remote attackers to execute SQL commands"
+        )
+        overflow = encoder.encode(
+            "Stack buffer overflow in image decoder causes memory corruption"
+        )
+
+        def cosine(u, v):
+            return u @ v / (np.linalg.norm(u) * np.linalg.norm(v))
+
+        assert cosine(sqli_a, sqli_b) > cosine(sqli_a, overflow)
+
+    def test_empty_batch(self):
+        assert HashingSentenceEncoder().encode_batch([]).shape == (0, 512)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            HashingSentenceEncoder(output_dim=0)
+        with pytest.raises(ValueError):
+            HashingSentenceEncoder(output_dim=512, hash_dim=256)
+
+
+class TestErrorMetrics:
+    def test_average_error(self):
+        assert average_error([1.0, 2.0], [1.5, 1.0]) == pytest.approx(0.75)
+
+    def test_average_error_rate(self):
+        # |1-1.5|/1 = 0.5; |2-1|/2 = 0.5 → mean 0.5.
+        assert average_error_rate([1.0, 2.0], [1.5, 1.0]) == pytest.approx(0.5)
+
+    def test_error_rate_skips_zero_targets(self):
+        assert average_error_rate([0.0, 2.0], [5.0, 1.0]) == pytest.approx(0.5)
+
+    def test_zero_error_for_perfect_predictions(self):
+        values = np.array([3.0, 4.0, 5.0])
+        assert average_error(values, values) == 0.0
+        assert average_error_rate(values, values) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            average_error([1.0], [1.0, 2.0])
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy(["a", "b", "c"], ["a", "x", "c"]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert accuracy([], []) == 0.0
+
+    def test_per_class_accuracy(self):
+        groups = ["L", "L", "H", "H"]
+        actual = ["M", "M", "C", "C"]
+        predicted = ["M", "H", "C", "C"]
+        by_class = per_class_accuracy(groups, actual, predicted)
+        assert by_class["L"] == pytest.approx(0.5)
+        assert by_class["H"] == pytest.approx(1.0)
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(
+            ["a", "a", "b"], ["a", "b", "b"], labels=["a", "b"]
+        )
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_confusion_ignores_unknown_labels(self):
+        matrix = confusion_matrix(["a", "z"], ["a", "a"], labels=["a"])
+        assert matrix.sum() == 1
+
+
+class TestStratifiedSplit:
+    def test_partitions_all_indices(self):
+        labels = ["a"] * 50 + ["b"] * 30
+        train, test = stratified_split(labels, 0.2, seed=1)
+        assert sorted([*train, *test]) == list(range(80))
+
+    def test_preserves_class_ratio(self):
+        labels = ["a"] * 100 + ["b"] * 100
+        train, test = stratified_split(labels, 0.2, seed=2)
+        test_a = sum(1 for i in test if labels[i] == "a")
+        assert test_a == 20
+
+    def test_tiny_classes_stay_in_train(self):
+        labels = ["a"] * 20 + ["rare"]
+        train, test = stratified_split(labels, 0.2, seed=3)
+        assert labels.index("rare") in train
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            stratified_split(["a"], 0.0)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_split_deterministic_per_seed(self, seed):
+        labels = ["a", "b"] * 20
+        first = stratified_split(labels, 0.25, seed=seed)
+        second = stratified_split(labels, 0.25, seed=seed)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])

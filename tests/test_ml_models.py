@@ -1,0 +1,179 @@
+"""Linear regression, SVR, k-NN, and PCA."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KNeighborsClassifier,
+    LinearRegression,
+    PCA,
+    SupportVectorRegressor,
+)
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((100, 3))
+        y = x @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = LinearRegression().fit(x, y)
+        np.testing.assert_allclose(
+            model.coefficients, [2.0, -1.0, 0.5], atol=1e-6
+        )
+        assert model.intercept == pytest.approx(3.0, abs=1e-6)
+
+    def test_prediction_matches_targets(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((50, 2))
+        y = 4.0 * x[:, 0] - 2.0
+        model = LinearRegression().fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-6)
+
+    def test_handles_collinear_features(self):
+        rng = np.random.default_rng(2)
+        base = rng.standard_normal(60)
+        x = np.stack([base, base, rng.standard_normal(60)], axis=1)
+        y = base * 2.0
+        model = LinearRegression(l2=1e-4).fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-2)
+
+    def test_rejects_unfitted_predict(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LinearRegression().predict(np.zeros((1, 2)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LinearRegression().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError, match="same number"):
+            LinearRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LinearRegression(l2=-1.0)
+
+
+class TestSupportVectorRegressor:
+    def test_fits_nonlinear_function_better_than_linear(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-2, 2, size=(300, 1))
+        y = np.sin(2.0 * x[:, 0])
+        svr = SupportVectorRegressor(c=2.0, gamma=1.0, epochs=30, seed=0).fit(x, y)
+        linear = LinearRegression().fit(x, y)
+        svr_err = np.mean(np.abs(svr.predict(x) - y))
+        lin_err = np.mean(np.abs(linear.predict(x) - y))
+        assert svr_err < lin_err
+
+    def test_predictions_bounded_on_constant_target(self):
+        x = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = np.full(50, 5.0)
+        model = SupportVectorRegressor(epochs=10, seed=0).fit(x, y)
+        predictions = model.predict(x)
+        assert np.all(np.abs(predictions - 5.0) < 1.0)
+
+    def test_subsamples_large_training_sets(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((500, 2))
+        y = x[:, 0]
+        model = SupportVectorRegressor(max_support=100, epochs=5, seed=0).fit(x, y)
+        assert model.support_vectors.shape[0] <= 100
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SupportVectorRegressor(c=0)
+        with pytest.raises(ValueError):
+            SupportVectorRegressor(gamma=-1)
+
+    def test_rejects_unfitted_predict(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            SupportVectorRegressor().predict(np.zeros((1, 2)))
+
+
+class TestKnn:
+    def test_separable_blobs(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(0, 0.3, size=(40, 2))
+        b = rng.normal(5, 0.3, size=(40, 2))
+        x = np.vstack([a, b])
+        y = np.array(["a"] * 40 + ["b"] * 40)
+        model = KNeighborsClassifier(k=1).fit(x, y)
+        assert list(model.predict(np.array([[0.1, 0.0], [5.1, 4.9]]))) == ["a", "b"]
+
+    def test_k3_majority_vote(self):
+        x = np.array([[0.0], [0.1], [0.2], [5.0]])
+        y = np.array(["a", "a", "a", "b"])
+        model = KNeighborsClassifier(k=3).fit(x, y)
+        assert model.predict(np.array([[0.15]]))[0] == "a"
+
+    def test_cosine_metric(self):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        y = np.array(["x-axis", "y-axis"])
+        model = KNeighborsClassifier(k=1, metric="cosine").fit(x, y)
+        assert model.predict(np.array([[10.0, 1.0]]))[0] == "x-axis"
+
+    def test_batched_prediction_matches_unbatched(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((100, 4))
+        y = (x[:, 0] > 0).astype(int)
+        model = KNeighborsClassifier(k=5).fit(x, y)
+        queries = rng.standard_normal((37, 4))
+        np.testing.assert_array_equal(
+            model.predict(queries, batch_size=8), model.predict(queries, batch_size=100)
+        )
+
+    def test_rejects_invalid_construction(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(metric="manhattan")
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError, match="empty"):
+            KNeighborsClassifier().fit(np.empty((0, 2)), np.empty(0))
+
+
+class TestPca:
+    def test_identifies_dominant_direction(self):
+        rng = np.random.default_rng(7)
+        direction = np.array([3.0, 4.0]) / 5.0
+        x = rng.standard_normal((200, 1)) * 10 @ direction[None, :]
+        x += rng.normal(0, 0.1, size=x.shape)
+        pca = PCA(n_components=1).fit(x)
+        component = pca.components[0]
+        alignment = abs(component @ direction)
+        assert alignment == pytest.approx(1.0, abs=1e-3)
+
+    def test_explained_variance_sorted(self):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((100, 5)) * np.array([5, 3, 2, 1, 0.5])
+        pca = PCA(n_components=5).fit(x)
+        variances = pca.explained_variance
+        assert np.all(np.diff(variances) <= 1e-9)
+
+    def test_transform_reduces_dimension(self):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((50, 13))
+        projected = PCA(n_components=3).fit_transform(x)
+        assert projected.shape == (50, 3)
+
+    def test_inverse_transform_approximates_input(self):
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((100, 2)) @ np.array([[1.0, 2.0], [0.5, -1.0]])
+        pca = PCA(n_components=2).fit(x)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(x)), x, atol=1e-8
+        )
+
+    def test_ratio_sums_to_at_most_one(self):
+        rng = np.random.default_rng(11)
+        pca = PCA(n_components=3).fit(rng.standard_normal((60, 8)))
+        assert 0.0 < pca.explained_variance_ratio.sum() <= 1.0 + 1e-9
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError, match="2-D"):
+            PCA().fit(np.zeros(5))
+        with pytest.raises(ValueError, match="exceeds"):
+            PCA(n_components=10).fit(np.zeros((5, 3)))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PCA().transform(np.zeros((2, 2)))

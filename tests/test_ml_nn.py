@@ -1,0 +1,195 @@
+"""Neural-network framework: gradient correctness and training."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Adam,
+    Conv1D,
+    Dense,
+    Flatten,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    fit,
+)
+
+
+def numeric_gradient(f, x, epsilon=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        up = f()
+        flat[i] = original - epsilon
+        down = f()
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * epsilon)
+    return grad
+
+
+class TestGradients:
+    def test_dense_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, rng)
+        x = rng.standard_normal((5, 4))
+        target = rng.standard_normal((5, 3))
+        loss_fn = MSELoss()
+
+        def loss():
+            return loss_fn.forward(layer.forward(x), target)
+
+        loss()
+        layer.weight.zero_grad()
+        layer.bias.zero_grad()
+        layer.backward(loss_fn.backward())
+        numeric = numeric_gradient(loss, layer.weight.value)
+        np.testing.assert_allclose(layer.weight.grad, numeric, atol=1e-5)
+
+    def test_dense_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 2, rng)
+        x = rng.standard_normal((3, 4))
+        target = rng.standard_normal((3, 2))
+        loss_fn = MSELoss()
+
+        def loss():
+            return loss_fn.forward(layer.forward(x), target)
+
+        loss()
+        grad_in = layer.backward(loss_fn.backward())
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(grad_in, numeric, atol=1e-5)
+
+    def test_conv1d_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        layer = Conv1D(2, 3, 3, rng)
+        x = rng.standard_normal((4, 6, 2))
+        target = rng.standard_normal((4, 6, 3))
+        loss_fn = MSELoss()
+
+        def loss():
+            return loss_fn.forward(layer.forward(x), target)
+
+        loss()
+        layer.weight.zero_grad()
+        layer.bias.zero_grad()
+        layer.backward(loss_fn.backward())
+        numeric = numeric_gradient(loss, layer.weight.value)
+        np.testing.assert_allclose(layer.weight.grad, numeric, atol=1e-5)
+
+    def test_conv1d_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        layer = Conv1D(2, 2, 3, rng)
+        x = rng.standard_normal((2, 5, 2))
+        target = rng.standard_normal((2, 5, 2))
+        loss_fn = MSELoss()
+
+        def loss():
+            return loss_fn.forward(layer.forward(x), target)
+
+        loss()
+        grad_in = layer.backward(loss_fn.backward())
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(grad_in, numeric, atol=1e-5)
+
+    def test_full_network_gradient_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        model = Sequential(
+            Conv1D(1, 2, 3, rng),
+            ReLU(),
+            Flatten(),
+            Dense(10, 4, rng),
+            Sigmoid(),
+            Dense(4, 1, rng),
+        )
+        x = rng.standard_normal((3, 5, 1))
+        target = rng.standard_normal((3, 1))
+        loss_fn = MSELoss()
+
+        def loss():
+            return loss_fn.forward(model.forward(x), target)
+
+        loss()
+        for param in model.parameters():
+            param.zero_grad()
+        model.backward(loss_fn.backward())
+        first_dense = model.layers[3]
+        numeric = numeric_gradient(loss, first_dense.weight.value)
+        np.testing.assert_allclose(first_dense.weight.grad, numeric, atol=1e-5)
+
+
+class TestLayers:
+    def test_relu_zeroes_negatives(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_sigmoid_range_and_stability(self):
+        layer = Sigmoid()
+        out = layer.forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert np.all((out >= 0) & (out <= 1))
+        assert out[0, 1] == pytest.approx(0.5)
+
+    def test_flatten_round_trip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        flat = layer.forward(x)
+        assert flat.shape == (2, 12)
+        assert layer.backward(flat).shape == (2, 3, 4)
+
+    def test_conv1d_same_padding_preserves_length(self):
+        rng = np.random.default_rng(5)
+        layer = Conv1D(3, 7, 3, rng)
+        out = layer.forward(rng.standard_normal((2, 13, 3)))
+        assert out.shape == (2, 13, 7)
+
+    def test_conv1d_rejects_even_kernel(self):
+        with pytest.raises(ValueError, match="odd kernel"):
+            Conv1D(1, 1, 2, np.random.default_rng(0))
+
+    def test_sequential_predict_batches(self):
+        rng = np.random.default_rng(6)
+        model = Sequential(Dense(3, 2, rng))
+        x = rng.standard_normal((100, 3))
+        np.testing.assert_allclose(
+            model.predict(x, batch_size=7), model.forward(x), atol=1e-12
+        )
+
+
+class TestTraining:
+    def test_fit_reduces_loss(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((200, 5))
+        true_w = rng.standard_normal((5, 1))
+        y = 1.0 / (1.0 + np.exp(-(x @ true_w)))
+        model = Sequential(Dense(5, 8, rng), ReLU(), Dense(8, 1, rng), Sigmoid())
+        history = fit(model, x, y, epochs=60, learning_rate=0.01, seed=0)
+        assert history[-1] < history[0] * 0.5
+
+    def test_fit_rejects_mismatched_shapes(self):
+        rng = np.random.default_rng(8)
+        model = Sequential(Dense(3, 1, rng))
+        with pytest.raises(ValueError, match="same number"):
+            fit(model, np.zeros((4, 3)), np.zeros((5, 1)), epochs=1)
+
+    def test_adam_moves_parameters(self):
+        rng = np.random.default_rng(9)
+        layer = Dense(2, 1, rng)
+        before = layer.weight.value.copy()
+        layer.weight.grad[:] = 1.0
+        Adam([layer.weight]).step()
+        assert not np.allclose(layer.weight.value, before)
+
+    def test_training_is_deterministic_given_seed(self):
+        def run():
+            rng = np.random.default_rng(10)
+            model = Sequential(Dense(3, 4, rng), ReLU(), Dense(4, 1, rng))
+            x = np.random.default_rng(1).standard_normal((50, 3))
+            y = x.sum(axis=1, keepdims=True)
+            return fit(model, x, y, epochs=5, seed=3)
+
+        assert run() == run()

@@ -1,0 +1,86 @@
+"""NVD JSON feed serialisation round-trips."""
+
+import datetime
+
+import pytest
+
+from repro.cpe import CpeName
+from repro.cvss import CvssV2Metrics, CvssV3Metrics
+from repro.nvd import (
+    CveEntry,
+    Reference,
+    entries_from_feed,
+    entries_to_feed,
+    load_feed,
+    save_feed,
+)
+
+
+@pytest.fixture()
+def rich_entry():
+    return CveEntry(
+        cve_id="CVE-2018-0101",
+        published=datetime.date(2018, 1, 29),
+        descriptions=("A vulnerability in the XML parser.", "Evaluator: CWE-611."),
+        references=(
+            Reference("https://tools.cisco.com/security/center/advisory.x", ("Vendor Advisory",)),
+            Reference("https://www.securityfocus.com/bid/102845"),
+        ),
+        cwe_ids=("CWE-611", "NVD-CWE-Other"),
+        cvss_v2=CvssV2Metrics("N", "L", "N", "C", "C", "C"),
+        cvss_v3=CvssV3Metrics("N", "L", "N", "N", "U", "H", "H", "H"),
+        cpes=(CpeName("a", "cisco", "asa", version="9.1"),),
+        modified=datetime.date(2018, 2, 2),
+    )
+
+
+class TestRoundTrip:
+    def test_single_entry_round_trip(self, rich_entry):
+        feed = entries_to_feed([rich_entry])
+        assert entries_from_feed(feed) == [rich_entry]
+
+    def test_feed_metadata(self, rich_entry):
+        feed = entries_to_feed([rich_entry])
+        assert feed["CVE_data_type"] == "CVE"
+        assert feed["CVE_data_numberOfCVEs"] == "1"
+
+    def test_minimal_entry_round_trip(self):
+        entry = CveEntry(
+            cve_id="CVE-1999-0001",
+            published=datetime.date(1999, 1, 1),
+            descriptions=("minimal",),
+        )
+        assert entries_from_feed(entries_to_feed([entry])) == [entry]
+
+    def test_scores_serialised(self, rich_entry):
+        item = entries_to_feed([rich_entry])["CVE_Items"][0]
+        assert item["impact"]["baseMetricV2"]["cvssV2"]["baseScore"] == 10.0
+        assert item["impact"]["baseMetricV3"]["cvssV3"]["baseScore"] == 9.8
+        assert item["impact"]["baseMetricV3"]["cvssV3"]["baseSeverity"] == "CRITICAL"
+
+    def test_cpe_uri_serialised(self, rich_entry):
+        item = entries_to_feed([rich_entry])["CVE_Items"][0]
+        uri = item["configurations"]["nodes"][0]["cpe_match"][0]["cpe23Uri"]
+        assert uri == "cpe:2.3:a:cisco:asa:9.1:*:*:*:*:*:*:*"
+
+    def test_rejects_non_feed(self):
+        with pytest.raises(ValueError, match="not an NVD"):
+            entries_from_feed({"something": "else"})
+
+
+class TestFiles:
+    def test_save_and_load_plain(self, rich_entry, tmp_path):
+        path = tmp_path / "nvdcve-1.0-2018.json"
+        save_feed([rich_entry], path)
+        assert load_feed(path) == [rich_entry]
+
+    def test_save_and_load_gzip(self, rich_entry, tmp_path):
+        path = tmp_path / "nvdcve-1.0-2018.json.gz"
+        save_feed([rich_entry], path)
+        assert load_feed(path) == [rich_entry]
+
+    def test_generated_snapshot_round_trips(self, snapshot, tmp_path):
+        entries = snapshot.entries[:100]
+        path = tmp_path / "subset.json"
+        save_feed(entries, path)
+        assert load_feed(path) == entries

@@ -1,0 +1,123 @@
+"""CVE entry data model."""
+
+import datetime
+
+import pytest
+
+from repro.cpe import CpeName
+from repro.cvss import CvssV2Metrics, CvssV3Metrics, Severity
+from repro.nvd import CveEntry, Reference
+
+
+def make_entry(**kwargs):
+    defaults = dict(
+        cve_id="CVE-2011-0700",
+        published=datetime.date(2011, 3, 14),
+        descriptions=("A WordPress XSS vulnerability.",),
+    )
+    defaults.update(kwargs)
+    return CveEntry(**defaults)
+
+
+class TestIdentity:
+    def test_year_from_cve_id(self):
+        assert make_entry().year == 2011
+
+    def test_rejects_malformed_id(self):
+        with pytest.raises(ValueError, match="malformed"):
+            make_entry(cve_id="CVE-11-0700")
+
+    def test_accepts_long_sequence_numbers(self):
+        assert make_entry(cve_id="CVE-2017-1000001").year == 2017
+
+
+class TestCpeViews:
+    def test_vendors_deduplicated_in_order(self):
+        entry = make_entry(
+            cpes=(
+                CpeName("a", "microsoft", "windows"),
+                CpeName("a", "microsoft", "office"),
+                CpeName("a", "adobe", "flash_player"),
+            )
+        )
+        assert entry.vendors == ("microsoft", "adobe")
+
+    def test_products_deduplicated(self):
+        entry = make_entry(
+            cpes=(
+                CpeName("a", "microsoft", "windows", version="8"),
+                CpeName("a", "microsoft", "windows", version="10"),
+            )
+        )
+        assert entry.products == ("windows",)
+
+    def test_vendor_products_pairs(self):
+        entry = make_entry(
+            cpes=(
+                CpeName("a", "microsoft", "windows"),
+                CpeName("a", "adobe", "flash_player"),
+            )
+        )
+        assert entry.vendor_products() == (
+            ("microsoft", "windows"),
+            ("adobe", "flash_player"),
+        )
+
+    def test_empty_cpes(self):
+        assert make_entry().vendors == ()
+        assert make_entry().products == ()
+
+
+class TestSeverityViews:
+    def test_no_scores_when_unset(self):
+        entry = make_entry()
+        assert entry.v2_score is None
+        assert entry.v3_score is None
+        assert entry.v2_severity is None
+        assert entry.v3_severity is None
+        assert not entry.has_v3
+
+    def test_v2_score_and_severity(self):
+        entry = make_entry(cvss_v2=CvssV2Metrics("N", "L", "N", "P", "P", "P"))
+        assert entry.v2_score == 7.5
+        assert entry.v2_severity is Severity.HIGH
+
+    def test_v3_score_and_severity(self):
+        entry = make_entry(
+            cvss_v3=CvssV3Metrics("N", "L", "N", "N", "U", "H", "H", "H")
+        )
+        assert entry.v3_score == 9.8
+        assert entry.v3_severity is Severity.CRITICAL
+        assert entry.has_v3
+
+
+class TestDescriptions:
+    def test_primary_description(self):
+        assert "WordPress" in make_entry().description
+
+    def test_all_description_text_joins(self):
+        entry = make_entry(descriptions=("first", "second CWE-79"))
+        assert "first" in entry.all_description_text()
+        assert "CWE-79" in entry.all_description_text()
+
+    def test_empty_descriptions(self):
+        assert make_entry(descriptions=()).description == ""
+
+
+class TestReference:
+    def test_domain_extraction(self):
+        ref = Reference("https://www.securityfocus.com/bid/46249")
+        assert ref.domain == "www.securityfocus.com"
+
+    def test_domain_strips_port_and_query(self):
+        ref = Reference("http://example.org:8080/x?q=1")
+        assert ref.domain == "example.org"
+
+
+class TestReplace:
+    def test_replace_returns_new_entry(self):
+        entry = make_entry()
+        updated = entry.replace(cwe_ids=("CWE-79",))
+        assert updated.cwe_ids == ("CWE-79",)
+        assert entry.cwe_ids == ()
+        assert updated.cve_id == entry.cve_id

@@ -1,0 +1,85 @@
+"""Table/figure rendering and experiment records."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import (
+    Comparison,
+    ExperimentReport,
+    render_bar_chart,
+    render_cdf,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_basic_render(self):
+        text = render_table(
+            ["Vendor", "CVEs"], [["microsoft", 6602], ["oracle", 5650]]
+        )
+        assert "microsoft" in text
+        assert "6602" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # aligned
+
+    def test_title_included(self):
+        text = render_table(["a"], [["x"]], title="Table 11")
+        assert text.startswith("Table 11")
+
+    def test_floats_two_decimals(self):
+        assert "6.16" in render_table(["pct"], [[6.1598]])
+
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(["n"], [[1], [100]])
+        assert "|   1 |" in text
+        assert "| 100 |" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        assert "a" in render_table(["a"], [])
+
+
+class TestRenderFigures:
+    def test_cdf_milestones(self):
+        lags = np.array([0, 0, 3, 10, 100])
+        cdf = np.arange(1, 6) / 5
+        text = render_cdf(lags, cdf, milestones=(0, 6))
+        assert "40.00%" in text  # 2/5 at lag 0
+        assert "60.00%" in text  # 3/5 at lag <= 6
+
+    def test_cdf_empty(self):
+        text = render_cdf(np.array([]), np.array([]), milestones=(0,))
+        assert "0.00%" in text
+
+    def test_bar_chart(self):
+        text = render_bar_chart({"Mon": 10.0, "Tue": 5.0}, title="Fig 2")
+        assert text.startswith("Fig 2")
+        assert "Mon" in text and "#" in text
+
+    def test_bar_chart_empty(self):
+        assert render_bar_chart({}) == ""
+
+
+class TestExperimentReport:
+    def test_render_and_status(self):
+        report = ExperimentReport("Table 5", "which model wins?")
+        report.add("best model", "CNN", "DNN", holds=False)
+        report.add("AER", "9.62%", "10.1%", holds=True)
+        text = report.render()
+        assert "Table 5" in text
+        assert "DIVERGES" in text and "[ok]" in text
+        assert not report.all_hold
+
+    def test_markdown_table(self):
+        report = ExperimentReport("Fig 1", "lag CDF")
+        report.add("zero lag", "38%", "39%", holds=True)
+        md = report.to_markdown()
+        assert "| zero lag | 38% | 39% | yes |" in md
+
+    def test_comparison_is_frozen(self):
+        comparison = Comparison("m", "p", "v", True)
+        with pytest.raises(AttributeError):
+            comparison.metric = "other"

@@ -1,0 +1,57 @@
+"""CWE-conditioned description templates."""
+
+import numpy as np
+
+from repro.cwe import extract_cwe_ids
+from repro.synth.descriptions import describe, evaluator_comment
+
+
+class TestDescribe:
+    def test_deterministic_given_rng_state(self):
+        a = describe("CWE-89", "acme", "widget", "1.0", np.random.default_rng(5))
+        b = describe("CWE-89", "acme", "widget", "1.0", np.random.default_rng(5))
+        assert a == b
+
+    def test_family_vocabulary_present(self):
+        cases = {
+            "CWE-89": "SQL",
+            "CWE-79": "scripting",
+            "CWE-119": "uffer",
+            "CWE-22": "traversal",
+            "CWE-416": "free",
+            "CWE-352": "forgery",
+        }
+        rng = np.random.default_rng(6)
+        for cwe_id, keyword in cases.items():
+            text = describe(cwe_id, "acme", "widget", "1.0", rng)
+            assert keyword.lower() in text.lower(), (cwe_id, text)
+
+    def test_product_and_version_mentioned(self):
+        text = describe("CWE-89", "acme", "widget_pro", "3.2", np.random.default_rng(7))
+        assert "Widget Pro" in text
+        assert "3.2" in text
+
+    def test_unknown_cwe_uses_generic_template(self):
+        text = describe("CWE-99999", "acme", "widget", "1.0", np.random.default_rng(8))
+        assert "vulnerability" in text.lower()
+
+    def test_primary_description_has_no_cwe_id(self):
+        # Only evaluator comments embed the id — otherwise the regex
+        # fix would be trivial.
+        rng = np.random.default_rng(9)
+        for cwe_id in ("CWE-89", "CWE-79", "CWE-119"):
+            assert extract_cwe_ids(describe(cwe_id, "a", "b", "1", rng)) == []
+
+
+class TestEvaluatorComment:
+    def test_embeds_id_and_name(self):
+        comment = evaluator_comment("CWE-835")
+        assert "CWE-835" in comment
+        assert "Infinite Loop" in comment
+
+    def test_extractable_by_regex(self):
+        assert extract_cwe_ids(evaluator_comment("CWE-79")) == ["CWE-79"]
+
+    def test_unknown_id_still_renders(self):
+        comment = evaluator_comment("CWE-424242")
+        assert "CWE-424242" in comment

@@ -1,0 +1,162 @@
+"""Statistical shape of the synthetic snapshot (the §3/§4 targets)."""
+
+import datetime
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.cvss import Severity
+from repro.synth import GeneratorConfig, generate
+
+
+class TestDeterminism:
+    def test_same_seed_same_snapshot(self):
+        a = generate(GeneratorConfig(n_cves=300, seed=5))
+        b = generate(GeneratorConfig(n_cves=300, seed=5))
+        assert [e.cve_id for e in a.snapshot] == [e.cve_id for e in b.snapshot]
+        assert a.truth.vendor_map == b.truth.vendor_map
+        first = a.snapshot.entries[0]
+        assert b.snapshot[first.cve_id] == first
+
+    def test_different_seeds_differ(self):
+        a = generate(GeneratorConfig(n_cves=300, seed=5))
+        b = generate(GeneratorConfig(n_cves=300, seed=6))
+        assert a.truth.disclosure != b.truth.disclosure
+
+
+class TestScaleStatistics:
+    def test_population_size(self, snapshot):
+        assert len(snapshot) == 1500
+
+    def test_v2_severity_distribution(self, snapshot):
+        # Paper: L 8.25%, M 54.83%, H 36.92% (Table 9).
+        counts = Counter(e.v2_severity for e in snapshot)
+        total = len(snapshot)
+        assert 0.04 <= counts[Severity.LOW] / total <= 0.18
+        assert 0.42 <= counts[Severity.MEDIUM] / total <= 0.65
+        assert 0.26 <= counts[Severity.HIGH] / total <= 0.48
+
+    def test_v3_coverage_one_third(self, snapshot):
+        # §3: 37.5K of 107.2K CVEs carry v3.
+        fraction = len(snapshot.with_v3()) / len(snapshot)
+        assert 0.25 <= fraction <= 0.45
+
+    def test_cwe_sentinel_rates(self, snapshot):
+        # §4.4: ≈24.5% Other, ≈7.1% noinfo, ≈1.2% unassigned.
+        other = sum(1 for e in snapshot if "NVD-CWE-Other" in e.cwe_ids)
+        noinfo = sum(1 for e in snapshot if "NVD-CWE-noinfo" in e.cwe_ids)
+        missing = sum(1 for e in snapshot if not e.cwe_ids)
+        total = len(snapshot)
+        assert 0.18 <= other / total <= 0.32
+        assert 0.04 <= noinfo / total <= 0.11
+        assert 0.003 <= missing / total <= 0.03
+
+    def test_publication_dates_within_snapshot_window(self, snapshot, bundle):
+        for entry in snapshot:
+            assert entry.published <= bundle.config.snapshot_date
+
+    def test_references_present(self, snapshot):
+        mean_refs = np.mean([len(e.references) for e in snapshot])
+        assert 3.0 <= mean_refs <= 8.0
+
+
+class TestDates:
+    def test_lag_shape(self, snapshot, truth):
+        # Figure 1: ≈38% zero lag, ≈70% within 6 days, ≈28% > a week.
+        lags = np.array(
+            [(e.published - truth.disclosure[e.cve_id]).days for e in snapshot]
+        )
+        assert np.all(lags >= 0)
+        assert 0.28 <= (lags == 0).mean() <= 0.50
+        assert 0.58 <= (lags <= 6).mean() <= 0.80
+        assert 0.15 <= (lags > 7).mean() <= 0.40
+
+    def test_disclosures_skew_to_week_start(self, truth):
+        weekday = Counter(d.weekday() for d in truth.disclosure.values())
+        monday_tuesday = weekday[0] + weekday[1]
+        weekend = weekday[5] + weekday[6]
+        assert monday_tuesday > 2 * weekend
+
+    def test_year_end_artifact_exists(self):
+        # 44.8% of 2004's CVEs carry the 12/31/2004 publication date.
+        big = generate(GeneratorConfig(n_cves=4000, seed=8))
+        year_2004 = [
+            e for e in big.snapshot if e.published.year == 2004
+        ]
+        if len(year_2004) >= 30:
+            on_nye = sum(
+                1 for e in year_2004 if e.published == datetime.date(2004, 12, 31)
+            )
+            assert on_nye / len(year_2004) >= 0.25
+
+
+class TestGroundTruthConsistency:
+    def test_every_cve_has_truth_records(self, snapshot, truth):
+        for entry in snapshot:
+            assert entry.cve_id in truth.disclosure
+            assert entry.cve_id in truth.true_cwe
+            assert entry.cve_id in truth.true_v3
+
+    def test_disclosure_never_after_publication(self, snapshot, truth):
+        for entry in snapshot:
+            assert truth.disclosure[entry.cve_id] <= entry.published
+
+    def test_assigned_v3_matches_truth(self, snapshot, truth):
+        for entry in snapshot.with_v3():
+            assert entry.cvss_v3 == truth.true_v3[entry.cve_id]
+
+    def test_mislabeled_vendor_cves_use_variants(self, snapshot, truth):
+        variants = set(truth.vendor_map)
+        for cve_id in truth.mislabeled_vendor_cves:
+            entry = snapshot[cve_id]
+            assert any(v in variants for v in entry.vendors)
+
+    def test_variant_vendors_hold_fewer_cves_than_canonical(self, snapshot, truth):
+        counts = snapshot.vendor_cve_counts()
+        wrong = 0
+        checked = 0
+        for variant, canonical in truth.vendor_map.items():
+            if variant in counts and canonical in counts:
+                checked += 1
+                if counts[variant] > counts[canonical]:
+                    wrong += 1
+        # The majority rule must recover most groups; occasional small-
+        # count inversions are expected and tolerated (lower bound).
+        if checked:
+            assert wrong / checked <= 0.34
+
+    def test_transition_shape_matches_table4(self, snapshot):
+        # No v2-Low CVE becomes Critical; no v2-High becomes Low.
+        for entry in snapshot.with_v3():
+            if entry.v2_severity is Severity.LOW:
+                assert entry.v3_severity is not Severity.CRITICAL
+            if entry.v2_severity is Severity.HIGH:
+                assert entry.v3_severity is not Severity.LOW
+
+
+class TestWebCorpus:
+    def test_positive_lag_cves_have_scrapeable_disclosure(self, bundle):
+        # When the lag is positive, at least one reference page must
+        # carry the true disclosure date on a live domain.
+        from repro.web import ReferenceCrawler
+
+        crawler = ReferenceCrawler(bundle.web)
+        checked = 0
+        for entry in bundle.snapshot.entries[:300]:
+            lag = (entry.published - bundle.truth.disclosure[entry.cve_id]).days
+            if lag <= 0:
+                continue
+            checked += 1
+            dates = crawler.scrape_all(ref.url for ref in entry.references)
+            assert min(dates) == bundle.truth.disclosure[entry.cve_id]
+        assert checked > 10
+
+
+class TestValidation:
+    def test_small_population_still_generates(self):
+        tiny = generate(GeneratorConfig(n_cves=100, seed=3))
+        assert len(tiny.snapshot) == 100
+
+    def test_config_recorded(self, bundle):
+        assert bundle.config.n_cves == 1500

@@ -1,0 +1,111 @@
+"""Name universe and variant generation."""
+
+import numpy as np
+import pytest
+
+from repro.synth.names import (
+    InconsistencyKind,
+    abbreviate,
+    build_universe,
+    make_variant,
+    tokenize_name,
+)
+
+
+class TestTokenize:
+    @pytest.mark.parametrize(
+        "name,tokens",
+        [
+            ("internet-explorer", ("internet", "explorer")),
+            ("internet_explorer", ("internet", "explorer")),
+            ("internet explorer", ("internet", "explorer")),
+            ("avast!", ("avast",)),
+            ("bea_systems", ("bea", "systems")),
+            ("node.js", ("node.js",)),
+            ("", ()),
+        ],
+    )
+    def test_tokenize(self, name, tokens):
+        assert tokenize_name(name) == tokens
+
+    def test_paper_separator_variants_tokenize_identically(self):
+        variants = ["internet-explorer", "internet_explorer", "internet explorer"]
+        assert len({tokenize_name(v) for v in variants}) == 1
+
+
+class TestAbbreviate:
+    def test_paper_example_lms(self):
+        assert abbreviate("lan_management_system") == "lms"
+
+    def test_ie(self):
+        assert abbreviate("internet-explorer") == "ie"
+
+
+class TestVariants:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            InconsistencyKind.SPECIAL_CHARS,
+            InconsistencyKind.TYPO,
+            InconsistencyKind.CHAR_EDIT,
+            InconsistencyKind.SEPARATOR,
+            InconsistencyKind.SUFFIX,
+            InconsistencyKind.ABBREVIATION,
+        ],
+    )
+    def test_variant_differs_from_canonical(self, kind):
+        rng = np.random.default_rng(0)
+        variant = make_variant("lan_management_system", kind, rng)
+        assert variant.variant != "lan_management_system"
+        assert variant.canonical == "lan_management_system"
+
+    def test_typo_drops_one_character(self):
+        rng = np.random.default_rng(1)
+        variant = make_variant("microsoft", InconsistencyKind.TYPO, rng)
+        assert len(variant.variant) == len("microsoft") - 1
+
+    def test_separator_swap(self):
+        rng = np.random.default_rng(2)
+        variant = make_variant("internet_explorer", InconsistencyKind.SEPARATOR, rng)
+        assert variant.variant == "internet-explorer"
+
+    def test_abbreviation_falls_back_for_single_token(self):
+        rng = np.random.default_rng(3)
+        variant = make_variant("lynx", InconsistencyKind.ABBREVIATION, rng)
+        # Single-token names cannot abbreviate; a suffix variant appears.
+        assert variant.variant.startswith("lynx")
+
+    def test_product_as_vendor_rejected_here(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError, match="generator"):
+            make_variant("microsoft", InconsistencyKind.PRODUCT_AS_VENDOR, rng)
+
+
+class TestUniverse:
+    def test_deterministic(self):
+        a = build_universe(300, np.random.default_rng(9))
+        b = build_universe(300, np.random.default_rng(9))
+        assert [spec.name for spec in a] == [spec.name for spec in b]
+
+    def test_exact_size_and_unique_names(self):
+        universe = build_universe(500, np.random.default_rng(10))
+        names = [spec.name for spec in universe]
+        assert len(names) == 500
+        assert len(set(names)) == 500
+
+    def test_anchors_present(self):
+        universe = build_universe(200, np.random.default_rng(11))
+        names = {spec.name for spec in universe}
+        for anchor in ("microsoft", "bea_systems", "avg", "nativesolutions"):
+            assert anchor in names
+
+    def test_every_vendor_has_products(self):
+        universe = build_universe(400, np.random.default_rng(12))
+        assert all(spec.products for spec in universe)
+
+    def test_top10_weight_share_reasonable(self):
+        # Table 11: top 10 vendors ≈ 36% of CVEs.
+        universe = build_universe(2000, np.random.default_rng(13))
+        weights = sorted((spec.weight for spec in universe), reverse=True)
+        share = sum(weights[:10]) / sum(weights)
+        assert 0.2 <= share <= 0.5

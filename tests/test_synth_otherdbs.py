@@ -1,0 +1,35 @@
+"""SecurityFocus / SecurityTracker simulated databases."""
+
+from repro.synth import generate_securityfocus, generate_securitytracker
+
+
+class TestSecurityFocus:
+    def test_larger_than_nvd_universe(self, truth):
+        db = generate_securityfocus(truth.universe, truth.vendor_map)
+        assert db.distinct_vendors() > len(truth.universe) * 0.9
+
+    def test_contains_inconsistent_variants(self, truth):
+        db = generate_securityfocus(truth.universe, truth.vendor_map)
+        assert db.truth_map
+        assert all(v in truth.vendor_map for v in db.truth_map)
+        assert set(db.truth_map) <= set(db.vendor_names)
+
+    def test_deterministic(self, truth):
+        a = generate_securityfocus(truth.universe, truth.vendor_map, seed=5)
+        b = generate_securityfocus(truth.universe, truth.vendor_map, seed=5)
+        assert a.vendor_names == b.vendor_names
+
+
+class TestSecurityTracker:
+    def test_much_smaller_than_securityfocus(self, truth):
+        focus = generate_securityfocus(truth.universe, truth.vendor_map)
+        tracker = generate_securitytracker(truth.universe, truth.vendor_map)
+        assert tracker.distinct_vendors() < focus.distinct_vendors() * 0.5
+
+    def test_lower_variant_rate_than_securityfocus(self, truth):
+        # Paper Table 3: ST ≈3% inconsistent vs SF ≈8%.
+        focus = generate_securityfocus(truth.universe, truth.vendor_map)
+        tracker = generate_securitytracker(truth.universe, truth.vendor_map)
+        focus_rate = len(focus.truth_map) / len(focus.vendor_names)
+        tracker_rate = len(tracker.truth_map) / len(tracker.vendor_names)
+        assert tracker_rate < focus_rate

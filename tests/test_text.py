@@ -1,0 +1,97 @@
+"""Description preprocessing (§4.4 pipeline)."""
+
+from repro.text import (
+    STOP_WORDS,
+    expand_contractions,
+    normalize_tense,
+    preprocess,
+    remove_special_characters,
+    remove_stop_words,
+    tokenize,
+)
+
+
+class TestContractions:
+    def test_paper_example_identifier(self):
+        # §4.4: "identifier's is changed to identifier".
+        assert expand_contractions("identifier's value") == "identifier value"
+
+    def test_curly_apostrophe(self):
+        assert expand_contractions("vendor’s code") == "vendor code"
+
+    def test_plain_words_untouched(self):
+        assert expand_contractions("buffer overflow") == "buffer overflow"
+
+
+class TestSpecialCharacters:
+    def test_lowercases(self):
+        assert remove_special_characters("Buffer OVERFLOW") == "buffer overflow"
+
+    def test_keeps_version_like_tokens(self):
+        assert "2.4.1" in remove_special_characters("version 2.4.1!")
+
+    def test_keeps_product_separators(self):
+        out = remove_special_characters("internet-explorer and mod_ssl")
+        assert "internet-explorer" in out and "mod_ssl" in out
+
+    def test_strips_punctuation(self):
+        assert "(" not in remove_special_characters("code (remote) execution!")
+
+
+class TestStopWords:
+    def test_paper_example_capability(self):
+        # §4.4: "This capability can be accessed" → "capability access".
+        tokens = preprocess("This capability can be accessed")
+        assert tokens == ["capability", "access"]
+
+    def test_common_words_in_set(self):
+        for word in ("the", "a", "is", "this", "can", "be"):
+            assert word in STOP_WORDS
+
+    def test_removal(self):
+        assert remove_stop_words(["the", "buffer", "is", "big"]) == ["buffer", "big"]
+
+
+class TestTense:
+    def test_paper_example_used(self):
+        # §4.4: "used is changed to use".
+        assert normalize_tense("used") == "use"
+
+    def test_regular_ed(self):
+        assert normalize_tense("crafted") == "craft"
+
+    def test_ied_form(self):
+        assert normalize_tense("modified") == "modify"
+
+    def test_doubled_consonant(self):
+        assert normalize_tense("stopped") == "stop"
+
+    def test_irregular(self):
+        assert normalize_tense("found") == "find"
+        assert normalize_tense("written") == "write"
+
+    def test_non_verbs_pass_through(self):
+        assert normalize_tense("buffer") == "buffer"
+        assert normalize_tense("red") == "red"
+
+
+class TestTokenizeAndPipeline:
+    def test_tokenize_basic(self):
+        assert tokenize("SQL injection in index.php") == [
+            "sql",
+            "injection",
+            "in",
+            "index.php",
+        ]
+
+    def test_pipeline_deterministic(self):
+        text = "The attacker used a crafted URL to access files."
+        assert preprocess(text) == preprocess(text)
+
+    def test_pipeline_drops_noise_keeps_signal(self):
+        tokens = preprocess("A buffer overflow in the parser was exploited!")
+        assert "buffer" in tokens and "overflow" in tokens
+        assert "the" not in tokens and "a" not in tokens
+
+    def test_empty_input(self):
+        assert preprocess("") == []

@@ -1,0 +1,91 @@
+"""Per-domain crawlers against the synthetic web corpus."""
+
+import datetime
+
+import pytest
+
+from repro.synth import SyntheticWeb
+from repro.web import ReferenceCrawler, TOP_DOMAINS, extractor_for_domain
+
+DATE = datetime.date(2011, 2, 7)
+
+
+@pytest.fixture()
+def corpus():
+    web = SyntheticWeb(seed=1)
+    for domain, info in TOP_DOMAINS.items():
+        web.add_page(f"https://{domain}/ref/cve-2011-0700-0", DATE)
+    return web
+
+
+class TestLayoutExtractors:
+    @pytest.mark.parametrize(
+        "domain",
+        [d for d, info in TOP_DOMAINS.items() if info.alive],
+    )
+    def test_every_live_layout_extracts_planted_date(self, corpus, domain):
+        page = corpus.fetch(f"https://{domain}/ref/cve-2011-0700-0")
+        assert page is not None
+        extractor = extractor_for_domain(domain)
+        assert extractor(page) == DATE
+
+    def test_extractor_ignores_decoy_dates(self, corpus):
+        # Pages carry a later "last modified" stamp and a copyright
+        # year; the extractor must return the planted disclosure date.
+        domain = "www.securityfocus.com"
+        page = corpus.fetch(f"https://{domain}/ref/cve-2011-0700-0")
+        assert "Last modified" in page
+        assert extractor_for_domain(domain)(page) == DATE
+
+    def test_unknown_domain_has_no_extractor(self):
+        assert extractor_for_domain("random.example") is None
+
+
+class TestReferenceCrawler:
+    def test_scrapes_live_top_domain(self, corpus):
+        crawler = ReferenceCrawler(corpus)
+        url = "https://www.securityfocus.com/ref/cve-2011-0700-0"
+        assert crawler.scrape_url(url) == DATE
+        assert crawler.counters["date_extracted"] == 1
+
+    def test_skips_dead_domain(self, corpus):
+        crawler = ReferenceCrawler(corpus)
+        assert crawler.scrape_url("https://osvdb.org/ref/cve-2011-0700-0") is None
+        assert crawler.counters["skipped_dead_domain"] == 1
+
+    def test_skips_uncovered_domain(self, corpus):
+        crawler = ReferenceCrawler(corpus)
+        assert crawler.scrape_url("https://tiny.example/x") is None
+        assert crawler.counters["skipped_uncovered_domain"] == 1
+
+    def test_fetch_failure_counted(self, corpus):
+        crawler = ReferenceCrawler(corpus)
+        missing = "https://www.securityfocus.com/not-registered"
+        assert crawler.scrape_url(missing) is None
+        assert crawler.counters["fetch_failed"] == 1
+
+    def test_scrape_all_collects_dates(self, corpus):
+        crawler = ReferenceCrawler(corpus)
+        urls = [
+            "https://www.securityfocus.com/ref/cve-2011-0700-0",
+            "https://bugzilla.redhat.com/ref/cve-2011-0700-0",
+            "https://osvdb.org/ref/cve-2011-0700-0",
+        ]
+        assert crawler.scrape_all(urls) == [DATE, DATE]
+
+
+class TestSyntheticWeb:
+    def test_unregistered_url_fetches_none(self):
+        assert SyntheticWeb().fetch("https://jvn.jp/nothing") is None
+
+    def test_fetch_counts(self, corpus):
+        before = corpus.fetch_count
+        corpus.fetch("https://jvn.jp/ref/cve-2011-0700-0")
+        assert corpus.fetch_count == before + 1
+
+    def test_date_of_oracle(self, corpus):
+        assert corpus.date_of("https://jvn.jp/ref/cve-2011-0700-0") == DATE
+
+    def test_rendering_is_deterministic(self, corpus):
+        url = "https://jvn.jp/ref/cve-2011-0700-0"
+        assert corpus.fetch(url) == corpus.fetch(url)

@@ -1,0 +1,49 @@
+"""Multi-format date parsing."""
+
+import datetime
+
+import pytest
+
+from repro.web import parse_date_any
+
+FEB7 = datetime.date(2011, 2, 7)
+
+
+class TestFormats:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "2011-02-07",
+            "published 2011/02/07 10:23",
+            "February 7, 2011",
+            "Feb 7 2011",
+            "Feb 07 2011 12:00AM",
+            "Feb. 7, 2011",
+            "7 February 2011",
+            "07 Feb 2011",
+            "Mon, 7 Feb 2011 10:23:00 +0000",
+            "公開日：2011/02/07",
+            "2011年02月07日",
+            "7th February 2011",
+        ],
+    )
+    def test_recognized_formats(self, text):
+        assert parse_date_any(text) == FEB7
+
+    def test_first_date_wins(self):
+        assert parse_date_any("2011-02-07 then 2012-03-08") == FEB7
+
+    def test_invalid_calendar_date_skipped(self):
+        # 2011-02-30 does not exist; the month-name fallback is used.
+        assert parse_date_any("2011-02-30 or February 7, 2011") == FEB7
+
+    @pytest.mark.parametrize(
+        "text",
+        ["no dates here", "", "12/11/10", "the year 2011 alone", "CVE-2011-0700"],
+    )
+    def test_unparseable_returns_none(self, text):
+        assert parse_date_any(text) is None
+
+    def test_does_not_guess_ambiguous_numeric(self):
+        # 02/07/2011 could be Feb 7 or Jul 2 — must not guess.
+        assert parse_date_any("02/07/2011") is None

@@ -1,0 +1,72 @@
+"""Domain extraction, ranking, coverage, and the top-domain registry."""
+
+from repro.web import (
+    TOP_DOMAINS,
+    domain_category,
+    domain_coverage,
+    domain_of,
+    is_dead_domain,
+    rank_domains,
+)
+
+
+class TestDomainOf:
+    def test_basic(self):
+        assert domain_of("https://www.securityfocus.com/bid/1") == "www.securityfocus.com"
+
+    def test_strips_scheme_port_path_query_fragment(self):
+        assert domain_of("http://Example.ORG:8080/a/b?x=1#f") == "example.org"
+
+    def test_schemeless(self):
+        assert domain_of("marc.info/?l=bugtraq") == "marc.info"
+
+
+class TestRegistry:
+    def test_has_about_50_domains(self):
+        assert 45 <= len(TOP_DOMAINS) <= 55
+
+    def test_14_domains_are_dead(self):
+        # §4.1: "14 domains are no longer responsive".
+        dead = [d for d, info in TOP_DOMAINS.items() if not info.alive]
+        assert len(dead) == 14
+
+    def test_osvdb_dead(self):
+        # §4.1's example: osvdb.org shut down in 2016.
+        assert is_dead_domain("osvdb.org")
+        assert not is_dead_domain("www.securityfocus.com")
+        assert not is_dead_domain("unknown.example")
+
+    def test_three_categories(self):
+        categories = {info.category for info in TOP_DOMAINS.values()}
+        assert categories == {
+            "vulnerability-database",
+            "bug-report-or-email-archive",
+            "security-advisory",
+        }
+
+    def test_category_lookup(self):
+        assert domain_category("jvn.jp") == "vulnerability-database"
+        assert domain_category("bugzilla.redhat.com") == "bug-report-or-email-archive"
+        assert domain_category("nowhere.example") is None
+
+
+class TestRanking:
+    def test_rank_by_frequency(self):
+        urls = ["https://a.example/1", "https://a.example/2", "https://b.example/1"]
+        assert rank_domains(urls) == [("a.example", 2), ("b.example", 1)]
+
+    def test_coverage_all_when_few_domains(self):
+        urls = ["https://a.example/1", "https://b.example/1"]
+        assert domain_coverage(urls, top_n=2) == 1.0
+
+    def test_coverage_partial(self):
+        urls = ["https://a.example/1"] * 3 + ["https://b.example/1"]
+        assert domain_coverage(urls, top_n=1) == 0.75
+
+    def test_coverage_empty(self):
+        assert domain_coverage([], top_n=50) == 0.0
+
+    def test_generated_references_hit_85_percent_coverage(self, snapshot):
+        # §4.1: top 50 domains cover more than 85% of URLs.
+        urls = [ref.url for e in snapshot for ref in e.references]
+        assert domain_coverage(urls, top_n=50) >= 0.83
