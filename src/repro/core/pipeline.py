@@ -5,6 +5,10 @@ dates, vendor names, product names (after vendors, as §4.2 requires),
 severity backporting, and CWE recovery — and returns a
 :class:`RectifiedNvd` bundling the improved snapshot with every
 intermediate artifact the case studies (§5) consume.
+
+Every phase is timed through :mod:`repro.perf`; ``tools/bench.py``
+reads the recorder to emit the per-phase trajectory in
+``BENCH_pipeline.json``.
 """
 
 from __future__ import annotations
@@ -12,8 +16,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable
 
-import numpy as np
-
+from repro import perf
 from repro.cvss import Severity
 from repro.core.cwefix import CweFixResult, apply_cwe_fixes, extract_cwe_fixes
 from repro.core.dates import DisclosureEstimate, estimate_all
@@ -80,30 +83,60 @@ def clean(
     ``prediction_model`` defaults to the best model by held-out
     accuracy (the paper selects its CNN).
     """
+    recorder = perf.get_recorder()
+    recorder.add_counter("clean.n_cves", len(snapshot))
+
+    # One shared pass partitions the snapshot into the §4.3 pools: the
+    # dual-scored training entries (v3) and the v2-scored prediction
+    # targets — with_v3() and the `scored` list used to require two
+    # full scans.
+    with_v3: list = []
+    scored: list = []
+    n_v3_predicted = 0
+    for entry in snapshot.entries:
+        if entry.has_v3:
+            with_v3.append(entry)
+        if entry.cvss_v2 is not None:
+            scored.append(entry)
+            if not entry.has_v3:
+                n_v3_predicted += 1
+
     # §4.1 — disclosure dates.
-    estimates = estimate_all(snapshot, web_client)
+    with recorder.phase("dates"):
+        estimates = estimate_all(snapshot, web_client)
 
     # §4.2 — vendor names first, then products under consolidated vendors.
-    vendor_analysis = analyze_vendors(snapshot, confirm_vendor)
-    after_vendors = apply_vendor_mapping(snapshot, vendor_analysis.mapping)
-    product_analysis = analyze_products(after_vendors, confirm_product)
-    after_names = apply_product_mapping(after_vendors, product_analysis.mapping)
+    with recorder.phase("vendors"):
+        vendor_analysis = analyze_vendors(snapshot, confirm_vendor)
+        after_vendors = apply_vendor_mapping(snapshot, vendor_analysis.mapping)
+    with recorder.phase("products"):
+        product_analysis = analyze_products(after_vendors, confirm_product)
+        after_names = apply_product_mapping(after_vendors, product_analysis.mapping)
 
     # §4.3 — severity backporting.
-    engine = SeverityPredictionEngine(engine_config).fit(snapshot.with_v3())
-    model = prediction_model or engine.best_model()
-    scored = [entry for entry in snapshot if entry.cvss_v2 is not None]
-    predictions = engine.predict_scores(scored, model=model)
-    pv3_scores = {
-        entry.cve_id: float(score) for entry, score in zip(scored, predictions)
-    }
-    severities = engine.predict_severities(scored, model=model)
-    pv3_severity = dict(zip((entry.cve_id for entry in scored), severities))
+    with recorder.phase("severity"):
+        with recorder.phase("fit"):
+            engine = SeverityPredictionEngine(engine_config).fit(with_v3)
+        with recorder.phase("select"):
+            model = prediction_model or engine.best_model()
+        with recorder.phase("predict"):
+            predictions = engine.predict_scores(scored, model=model)
+            pv3_scores = {
+                entry.cve_id: float(score)
+                for entry, score in zip(scored, predictions)
+            }
+            severities = engine.predict_severities(scored, model=model)
+            pv3_severity = dict(
+                zip((entry.cve_id for entry in scored), severities)
+            )
 
     # §4.4 — CWE recovery.
-    cwe_fixes = extract_cwe_fixes(after_names)
-    rectified = apply_cwe_fixes(after_names, cwe_fixes)
+    with recorder.phase("cwe"):
+        cwe_fixes = extract_cwe_fixes(after_names)
+        rectified = apply_cwe_fixes(after_names, cwe_fixes)
 
+    recorder.add_counter("clean.n_scored", len(scored))
+    recorder.add_counter("clean.n_v3_predicted", n_v3_predicted)
     report = CleaningReport(
         n_cves=len(snapshot),
         n_improved_dates=sum(1 for e in estimates.values() if e.improved),
@@ -111,7 +144,7 @@ def clean(
         n_vendor_names_canonical=vendor_analysis.n_consistent_names,
         n_product_names_impacted=product_analysis.n_impacted_names,
         n_product_vendors_affected=product_analysis.n_vendors_affected,
-        n_v3_predicted=int(np.sum([not entry.has_v3 for entry in scored])),
+        n_v3_predicted=n_v3_predicted,
         n_cwe_fixed=cwe_fixes.n_fixed,
         model_used=model,
     )

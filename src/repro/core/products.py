@@ -98,16 +98,25 @@ def product_candidate_pairs(
     Heuristic 3: edit distance ≤ ``edit_distance_cap`` (human typos).
     """
     pairs: list[ProductPair] = []
-    seen: set[tuple[str, str, str]] = set()
-
-    def add(vendor: str, a: str, b: str, heuristic: str) -> None:
-        key = (vendor, a, b) if a < b else (vendor, b, a)
-        if a != b and key not in seen:
-            seen.add(key)
-            pairs.append(ProductPair(vendor, key[1], key[2], heuristic))
 
     for vendor, products in products_by_vendor.items():
         ordered = sorted(products)
+        # Per-vendor pair dedup over index tuples: ``ordered`` is
+        # sorted, so index order doubles as lexicographic name order.
+        position = {product: i for i, product in enumerate(ordered)}
+        seen: set[tuple[int, int]] = set()
+
+        def add(a: str, b: str, heuristic: str) -> None:
+            if a == b:
+                return
+            ia, ib = position[a], position[b]
+            key = (ia, ib) if ia < ib else (ib, ia)
+            if key not in seen:
+                seen.add(key)
+                pairs.append(
+                    ProductPair(vendor, ordered[key[0]], ordered[key[1]], heuristic)
+                )
+
         by_tokens: dict[tuple[str, ...], list[str]] = {}
         by_abbrev: dict[str, list[str]] = {}
         for product in ordered:
@@ -119,18 +128,41 @@ def product_candidate_pairs(
         for group in by_tokens.values():
             for i, a in enumerate(group):
                 for b in group[i + 1 :]:
-                    add(vendor, a, b, "tokens")
+                    add(a, b, "tokens")
         for product in ordered:
             for expanded in by_abbrev.get(product, ()):
-                add(vendor, product, expanded, "abbreviation")
-        # Bounded edit distance within the vendor (vendors hold at most
-        # a few thousand products, so the quadratic pass stays small).
-        for i, a in enumerate(ordered):
-            for b in ordered[i + 1 :]:
-                if abs(len(a) - len(b)) > edit_distance_cap:
-                    continue
-                if edit_distance(a, b, cap=edit_distance_cap) <= edit_distance_cap:
-                    add(vendor, a, b, "edit-distance")
+                add(product, expanded, "abbreviation")
+        # Bounded edit distance within the vendor.  For the default cap
+        # of 1, single-deletion signatures block the candidates exactly
+        # (two names are within one edit iff they share a signature), so
+        # the all-pairs scan — quadratic in the size of a vendor's
+        # product set, the pipeline's worst scaling term — only runs as
+        # a fallback for larger caps.
+        if edit_distance_cap == 1:
+            by_signature: dict[str, list[int]] = {}
+            for index, product in enumerate(ordered):
+                signatures = {
+                    product[:i] + product[i + 1 :] for i in range(len(product))
+                }
+                signatures.add(product)
+                for signature in signatures:
+                    by_signature.setdefault(signature, []).append(index)
+            candidates: set[tuple[int, int]] = set()
+            for group_idx in by_signature.values():
+                for i, ia in enumerate(group_idx):
+                    for ib in group_idx[i + 1 :]:
+                        candidates.add((ia, ib) if ia < ib else (ib, ia))
+            for ia, ib in sorted(candidates):
+                a, b = ordered[ia], ordered[ib]
+                if edit_distance(a, b, cap=1) <= 1:
+                    add(a, b, "edit-distance")
+        else:
+            for i, a in enumerate(ordered):
+                for b in ordered[i + 1 :]:
+                    if abs(len(a) - len(b)) > edit_distance_cap:
+                        continue
+                    if edit_distance(a, b, cap=edit_distance_cap) <= edit_distance_cap:
+                        add(a, b, "edit-distance")
     return pairs
 
 
@@ -140,10 +172,7 @@ def analyze_products(
     edit_distance_cap: int = 1,
 ) -> ProductAnalysis:
     """Run the §4.2 product workflow (post vendor consolidation)."""
-    products_by_vendor: dict[str, set[str]] = {}
-    for entry in snapshot:
-        for vendor, product in entry.vendor_products():
-            products_by_vendor.setdefault(vendor, set()).add(product)
+    products_by_vendor = snapshot.vendor_products()
     candidates = product_candidate_pairs(
         products_by_vendor, edit_distance_cap=edit_distance_cap
     )
@@ -211,4 +240,6 @@ def apply_product_mapping(
             new_cpes.append(cpe)
         return entry.replace(cpes=tuple(new_cpes)) if changed else entry
 
-    return snapshot.map_entries(remap)
+    if not mapping:
+        return snapshot  # snapshots are immutable; nothing to remap
+    return snapshot.map_entries(remap, names_only=True)

@@ -137,11 +137,7 @@ class VendorAnalysis:
 
 
 def _vendor_products(snapshot: NvdSnapshot) -> dict[str, set[str]]:
-    products: dict[str, set[str]] = {}
-    for entry in snapshot:
-        for vendor, product in entry.vendor_products():
-            products.setdefault(vendor, set()).add(product)
-    return products
+    return snapshot.vendor_products()
 
 
 def _char_4grams(name: str) -> set[str]:
@@ -158,24 +154,37 @@ def candidate_pairs(
 ) -> list[PairFeatures]:
     """Generate candidate pairs via the §4.2 heuristics with blocking.
 
-    ``max_bucket`` caps 4-gram bucket sizes: very common substrings
-    (e.g. "soft") would otherwise produce quadratic noise — the paper
-    made the same call by dropping substring heuristics that "flagged
-    too many pairs for analysis" for products.
+    ``max_bucket`` caps every blocking bucket (token groups, shared
+    products, deletion signatures, 4-grams): very common keys (e.g. the
+    substring "soft") would otherwise produce quadratic noise — the
+    paper made the same call by dropping substring heuristics that
+    "flagged too many pairs for analysis" for products.
     """
-    pairs: set[tuple[str, str]] = set()
+    # Pairs deduplicate as index tuples — cheaper to hash and compare
+    # than string pairs when the heuristics overlap heavily.
+    index_of = {vendor: i for i, vendor in enumerate(vendors)}
+    tokens_of = [tokenize_name(vendor) for vendor in vendors]
+    pairs: set[tuple[int, int]] = set()
 
     def add(a: str, b: str) -> None:
         if a != b:
-            pairs.add((a, b) if a < b else (b, a))
+            ia, ib = index_of[a], index_of[b]
+            pairs.add((ia, ib) if a < b else (ib, ia))
 
     # Heuristic: identical token sequences (special-char variants).
     by_tokens: dict[tuple[str, ...], list[str]] = {}
-    for vendor in vendors:
-        tokens = tokenize_name(vendor)
+    for vendor, tokens in zip(vendors, tokens_of):
         if tokens:
             by_tokens.setdefault(tokens, []).append(vendor)
     for group in by_tokens.values():
+        if len(group) > max_bucket:
+            # Token identity is a high-precision signal, so unlike the
+            # noisy buckets below an oversized group must not be
+            # dropped: chain consecutive members instead — union-find
+            # still merges the whole group, with O(n) pairs.
+            for a, b in zip(group, group[1:]):
+                add(a, b)
+            continue
         for i, a in enumerate(group):
             for b in group[i + 1 :]:
                 add(a, b)
@@ -201,8 +210,8 @@ def candidate_pairs(
 
     # Heuristic: abbreviation of a multi-token name.
     by_abbrev: dict[str, list[str]] = {}
-    for vendor in vendors:
-        if len(tokenize_name(vendor)) >= 2:
+    for vendor, tokens in zip(vendors, tokens_of):
+        if len(tokens) >= 2:
             by_abbrev.setdefault(abbreviate(vendor), []).append(vendor)
     for vendor in vendors:
         for expanded in by_abbrev.get(vendor, ()):
@@ -258,16 +267,18 @@ def candidate_pairs(
         if smaller >= 5 and shared >= max(1, smaller - 5):
             add(a, b)
 
+    empty: set[str] = set()
     features: list[PairFeatures] = []
-    for a, b in sorted(pairs):
-        products_a = vendor_products.get(a, set())
-        products_b = vendor_products.get(b, set())
+    for ia, ib in sorted(pairs, key=lambda p: (vendors[p[0]], vendors[p[1]])):
+        a, b = vendors[ia], vendors[ib]
+        tokens_a, tokens_b = tokens_of[ia], tokens_of[ib]
+        products_a = vendor_products.get(a, empty)
+        products_b = vendor_products.get(b, empty)
         features.append(
             PairFeatures(
                 name_a=a,
                 name_b=b,
-                tokens_identical=tokenize_name(a) == tokenize_name(b)
-                and bool(tokenize_name(a)),
+                tokens_identical=tokens_a == tokens_b and bool(tokens_a),
                 matching_products=len(products_a & products_b),
                 is_prefix=a.startswith(b) or b.startswith(a),
                 product_as_vendor=(a in products_b) or (b in products_a),
@@ -356,4 +367,6 @@ def apply_vendor_mapping(
                 new_cpes.append(cpe)
         return entry.replace(cpes=tuple(new_cpes)) if changed else entry
 
-    return snapshot.map_entries(remap)
+    if not mapping:
+        return snapshot  # snapshots are immutable; nothing to remap
+    return snapshot.map_entries(remap, names_only=True)

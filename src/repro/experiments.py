@@ -10,6 +10,7 @@ minutes on a laptop).
 from __future__ import annotations
 
 import functools
+import math
 import os
 
 from repro.core import (
@@ -28,8 +29,26 @@ PAPER_SCALE_CVES = 107_200
 
 
 def scale() -> float:
-    """The configured experiment scale (``REPRO_SCALE`` env var)."""
-    return float(os.environ.get("REPRO_SCALE", "0.075"))
+    """The configured experiment scale (``REPRO_SCALE`` env var).
+
+    1.0 reproduces the paper's 107.2K-CVE snapshot; the default 0.075
+    keeps a laptop benchmark run in minutes.  Raises :class:`ValueError`
+    for values that are not positive finite numbers, so a typo in the
+    environment fails loudly instead of producing an empty or absurd
+    snapshot.
+    """
+    raw = os.environ.get("REPRO_SCALE", "0.075")
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"REPRO_SCALE must be a number, got {raw!r}"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(
+            f"REPRO_SCALE must be a positive finite number, got {raw!r}"
+        )
+    return value
 
 
 @functools.lru_cache(maxsize=2)

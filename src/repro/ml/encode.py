@@ -14,6 +14,13 @@ same interface and output shape:
 
 Texts that share vocabulary therefore land near each other — the
 property the k-NN classifier of §4.4 actually exploits.
+
+``encode_batch`` is the hot path: it hashes each distinct feature once
+(the blake2b digest is memoised across calls — corpus vocabulary is
+far smaller than the token stream), scatters all texts' signed counts
+into a chunked bag matrix in one vectorised pass, and applies the
+random projection per chunk as a single GEMM, so memory stays bounded
+at ``chunk_size × hash_dim`` regardless of corpus size.
 """
 
 from __future__ import annotations
@@ -52,19 +59,31 @@ class HashingSentenceEncoder:
         self._projection = rng.standard_normal((hash_dim, output_dim)) / np.sqrt(
             output_dim
         )
+        #: feature string → (bag index, sign); filled on demand.
+        self._feature_slots: dict[str, tuple[int, float]] = {}
 
-    def _bag(self, text: str) -> np.ndarray:
+    def _slot(self, feature: str) -> tuple[int, float]:
+        """The (index, sign) bag slot for a feature, memoised."""
+        slot = self._feature_slots.get(feature)
+        if slot is None:
+            value = _stable_hash(feature)
+            slot = (value % self.hash_dim, 1.0 if (value >> 63) & 1 else -1.0)
+            self._feature_slots[feature] = slot
+        return slot
+
+    def _features(self, text: str) -> list[str]:
         tokens = preprocess(text)
         features = list(tokens)
         if self.use_bigrams:
             features.extend(
                 f"{first}_{second}" for first, second in zip(tokens, tokens[1:])
             )
+        return features
+
+    def _bag(self, text: str) -> np.ndarray:
         bag = np.zeros(self.hash_dim)
-        for feature in features:
-            value = _stable_hash(feature)
-            index = value % self.hash_dim
-            sign = 1.0 if (value >> 63) & 1 else -1.0
+        for feature in self._features(text):
+            index, sign = self._slot(feature)
             bag[index] += sign
         norm = np.linalg.norm(bag)
         return bag / norm if norm > 0 else bag
@@ -73,9 +92,34 @@ class HashingSentenceEncoder:
         """Encode one sentence to a ``(output_dim,)`` vector."""
         return self._bag(text) @ self._projection
 
-    def encode_batch(self, texts: list[str]) -> np.ndarray:
+    def encode_batch(
+        self, texts: list[str], chunk_size: int = 1024
+    ) -> np.ndarray:
         """Encode many sentences to a ``(n, output_dim)`` matrix."""
-        if not texts:
+        n = len(texts)
+        if n == 0:
             return np.empty((0, self.output_dim))
-        bags = np.stack([self._bag(text) for text in texts])
-        return bags @ self._projection
+        out = np.empty((n, self.output_dim))
+        slot = self._slot
+        for start in range(0, n, chunk_size):
+            chunk = texts[start : start + chunk_size]
+            rows: list[int] = []
+            cols: list[int] = []
+            signs: list[float] = []
+            for row, text in enumerate(chunk):
+                for feature in self._features(text):
+                    index, sign = slot(feature)
+                    rows.append(row)
+                    cols.append(index)
+                    signs.append(sign)
+            bags = np.zeros((len(chunk), self.hash_dim))
+            if rows:
+                np.add.at(
+                    bags,
+                    (np.asarray(rows), np.asarray(cols)),
+                    np.asarray(signs),
+                )
+            norms = np.linalg.norm(bags, axis=1, keepdims=True)
+            np.divide(bags, norms, out=bags, where=norms > 0)
+            out[start : start + len(chunk)] = bags @ self._projection
+        return out

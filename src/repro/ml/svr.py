@@ -6,6 +6,13 @@ kernel machine in the primal with Pegasos-style stochastic subgradient
 descent over the dual coefficients, which converges to a good
 approximate solution without a QP solver.  Training cost is bounded by
 subsampling at most ``max_support`` candidate support vectors.
+
+Kernel evaluations are fully vectorised: the Gram matrix comes from
+one GEMM plus broadcast squared norms, prediction streams the kernel
+in bounded-size chunks (memory stays O(chunk × n_support) however many
+rows are scored), and the training loop keeps its per-sample scalar
+updates in plain Python floats — same IEEE-754 arithmetic, none of the
+numpy scalar boxing overhead.
 """
 
 from __future__ import annotations
@@ -38,12 +45,23 @@ class SupportVectorRegressor:
         self.support_vectors: np.ndarray | None = None
         self.alphas: np.ndarray | None = None
         self.intercept: float = 0.0
+        self._support_sq: np.ndarray | None = None
 
-    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """RBF kernel matrix between row sets ``a`` and ``b``."""
+    def _kernel(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sq_b: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """RBF kernel matrix between row sets ``a`` and ``b``.
+
+        ``sq_b`` optionally carries precomputed squared norms of ``b``
+        so repeated calls against the support set skip the reduction.
+        """
         sq_a = np.sum(a**2, axis=1)[:, None]
-        sq_b = np.sum(b**2, axis=1)[None, :]
-        distances = np.maximum(sq_a + sq_b - 2.0 * (a @ b.T), 0.0)
+        if sq_b is None:
+            sq_b = np.sum(b**2, axis=1)
+        distances = np.maximum(sq_a + sq_b[None, :] - 2.0 * (a @ b.T), 0.0)
         return np.exp(-self.gamma * distances)
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "SupportVectorRegressor":
@@ -59,33 +77,50 @@ class SupportVectorRegressor:
         kernel = self._kernel(x, x)
         alphas = np.zeros(n)
         intercept = float(np.mean(y))
+        y_list = y.tolist()
+        c = self.c
+        epsilon = self.epsilon
         # Pegasos-style pass: for each sample, move its dual coefficient
         # along the epsilon-insensitive subgradient, clipped to [-C, C].
-        learning_rate = 1.0 / (self.c * n)
+        learning_rate = 1.0 / (c * n)
         for epoch in range(self.epochs):
             order = rng.permutation(n)
-            step = self.c * learning_rate * (0.5 ** (epoch / max(self.epochs, 1)))
+            step = c * learning_rate * (0.5 ** (epoch / max(self.epochs, 1)))
+            step_c = step * c
+            shrink = 1.0 - step
             for i in order:
-                residual = kernel[i] @ alphas + intercept - y[i]
-                if residual > self.epsilon:
-                    alphas[i] -= step * self.c
-                elif residual < -self.epsilon:
-                    alphas[i] += step * self.c
+                alpha = alphas[i]
+                residual = kernel[i].dot(alphas) + intercept - y_list[i]
+                if residual > epsilon:
+                    alpha -= step_c
+                elif residual < -epsilon:
+                    alpha += step_c
                 else:
-                    alphas[i] *= 1.0 - step  # shrink inside the tube
-                alphas[i] = float(np.clip(alphas[i], -self.c, self.c))
+                    alpha *= shrink  # shrink inside the tube
+                alphas[i] = min(max(alpha, -c), c)
             predictions = kernel @ alphas + intercept
             intercept += float(np.mean(y - predictions))
         keep = np.abs(alphas) > 1e-8
-        self.support_vectors = x[keep]
+        self.support_vectors = np.ascontiguousarray(x[keep])
         self.alphas = alphas[keep]
         self.intercept = intercept
+        self._support_sq = (
+            np.sum(self.support_vectors**2, axis=1)
+            if self.support_vectors.size
+            else None
+        )
         return self
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
+    def predict(self, x: np.ndarray, chunk_size: int = 4096) -> np.ndarray:
         if self.support_vectors is None or self.alphas is None:
             raise RuntimeError("model is not fitted")
+        x = np.asarray(x, dtype=float)
         if self.support_vectors.shape[0] == 0:
-            return np.full(np.asarray(x).shape[0], self.intercept)
-        kernel = self._kernel(np.asarray(x, dtype=float), self.support_vectors)
-        return kernel @ self.alphas + self.intercept
+            return np.full(x.shape[0], self.intercept)
+        out = np.empty(x.shape[0])
+        for start in range(0, x.shape[0], chunk_size):
+            chunk = x[start : start + chunk_size]
+            kernel = self._kernel(chunk, self.support_vectors, self._support_sq)
+            out[start : start + chunk.shape[0]] = kernel @ self.alphas
+        out += self.intercept
+        return out

@@ -5,6 +5,14 @@ The paper's study operates on "a snapshot of NVD captured on May 21,
 indexes entries by id, year, vendor, product, and CWE, exposes the §3
 scale statistics, and supports the name-remapping operation the
 cleaning pipeline applies.
+
+All indices are built lazily in **one shared pass** over the entries:
+the first query that needs any index materialises all of them (vendor,
+product, year, CWE, and vendor→product pair counts) together with the
+scalar statistics, so repeated ``stats()`` / count queries never
+re-scan the snapshot.  Name-only remaps (vendor/product consolidation)
+reuse the indices that renames cannot change instead of rebuilding
+everything.
 """
 
 from __future__ import annotations
@@ -32,6 +40,28 @@ class SnapshotStats:
     year_range: tuple[int, int]
 
 
+@dataclasses.dataclass
+class _BaseIndices:
+    """Indices and scalars that renaming vendors/products cannot change."""
+
+    by_year: dict[int, list[str]]
+    by_cwe: dict[str, list[str]]
+    n_cwe_types: int
+    n_with_v3: int
+    n_with_v2: int
+    n_references: int
+    year_range: tuple[int, int]
+
+
+@dataclasses.dataclass
+class _NameIndices:
+    """Indices keyed by vendor/product names."""
+
+    by_vendor: dict[str, list[str]]
+    by_product: dict[str, list[str]]
+    pair_counts: dict[tuple[str, str], int]
+
+
 class NvdSnapshot:
     """An immutable collection of CVE entries with lookup indices."""
 
@@ -41,10 +71,26 @@ class NvdSnapshot:
             if entry.cve_id in self._entries:
                 raise ValueError(f"duplicate CVE id {entry.cve_id}")
             self._entries[entry.cve_id] = entry
-        self._by_vendor: dict[str, list[str]] | None = None
-        self._by_product: dict[str, list[str]] | None = None
-        self._by_year: dict[int, list[str]] | None = None
-        self._by_cwe: dict[str, list[str]] | None = None
+        self._entry_list: list[CveEntry] | None = None
+        self._base: _BaseIndices | None = None
+        self._names: _NameIndices | None = None
+        self._stats: SnapshotStats | None = None
+
+    @classmethod
+    def _from_trusted(cls, entries: dict[str, CveEntry]) -> "NvdSnapshot":
+        """Build a snapshot from an id→entry dict known to be consistent.
+
+        Used by :meth:`map_entries` when the transform preserves CVE
+        ids, so the duplicate-id validation of ``__init__`` is already
+        guaranteed by the source snapshot.
+        """
+        snapshot = cls.__new__(cls)
+        snapshot._entries = entries
+        snapshot._entry_list = None
+        snapshot._base = None
+        snapshot._names = None
+        snapshot._stats = None
+        return snapshot
 
     # -- container protocol -------------------------------------------------
 
@@ -52,7 +98,7 @@ class NvdSnapshot:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[CveEntry]:
-        return iter(self._entries.values())
+        return iter(self.entries)
 
     def __contains__(self, cve_id: str) -> bool:
         return cve_id in self._entries
@@ -65,44 +111,95 @@ class NvdSnapshot:
 
     @property
     def entries(self) -> list[CveEntry]:
-        return list(self._entries.values())
+        """The entries as a list, cached (hot loops iterate it freely)."""
+        if self._entry_list is None:
+            self._entry_list = list(self._entries.values())
+        return self._entry_list
 
     # -- indices --------------------------------------------------------------
 
-    def _vendor_index(self) -> dict[str, list[str]]:
-        if self._by_vendor is None:
-            index: dict[str, list[str]] = {}
-            for entry in self:
+    def _build_indices(self) -> None:
+        """Build every missing index group in one shared pass."""
+        need_base = self._base is None
+        need_names = self._names is None
+        if not (need_base or need_names):
+            return
+        if need_base:
+            by_year: dict[int, list[str]] = {}
+            by_cwe: dict[str, list[str]] = {}
+            concrete_cwes: set[str] = set()
+            n_with_v3 = n_with_v2 = n_references = 0
+            min_year = max_year = 0
+        if need_names:
+            by_vendor: dict[str, list[str]] = {}
+            by_product: dict[str, list[str]] = {}
+            pair_counts: dict[tuple[str, str], int] = {}
+        for entry in self.entries:
+            cve_id = entry.cve_id
+            if need_base:
+                year = entry.published.year
+                by_year.setdefault(year, []).append(cve_id)
+                if min_year == 0 or year < min_year:
+                    min_year = year
+                if year > max_year:
+                    max_year = year
+                for cwe_id in entry.cwe_ids:
+                    by_cwe.setdefault(cwe_id, []).append(cve_id)
+                    if not is_sentinel(cwe_id):
+                        concrete_cwes.add(cwe_id)
+                if entry.cvss_v3 is not None:
+                    n_with_v3 += 1
+                if entry.cvss_v2 is not None:
+                    n_with_v2 += 1
+                n_references += len(entry.references)
+            if need_names:
                 for vendor in entry.vendors:
-                    index.setdefault(vendor, []).append(entry.cve_id)
-            self._by_vendor = index
-        return self._by_vendor
+                    by_vendor.setdefault(vendor, []).append(cve_id)
+                for product in entry.products:
+                    by_product.setdefault(product, []).append(cve_id)
+                for pair in entry.vendor_products():
+                    pair_counts[pair] = pair_counts.get(pair, 0) + 1
+        if need_base:
+            self._base = _BaseIndices(
+                by_year=by_year,
+                by_cwe=by_cwe,
+                n_cwe_types=len(concrete_cwes),
+                n_with_v3=n_with_v3,
+                n_with_v2=n_with_v2,
+                n_references=n_references,
+                year_range=(min_year, max_year),
+            )
+        if need_names:
+            self._names = _NameIndices(
+                by_vendor=by_vendor,
+                by_product=by_product,
+                pair_counts=pair_counts,
+            )
+
+    def _vendor_index(self) -> dict[str, list[str]]:
+        self._build_indices()
+        assert self._names is not None
+        return self._names.by_vendor
 
     def _product_index(self) -> dict[str, list[str]]:
-        if self._by_product is None:
-            index: dict[str, list[str]] = {}
-            for entry in self:
-                for product in entry.products:
-                    index.setdefault(product, []).append(entry.cve_id)
-            self._by_product = index
-        return self._by_product
+        self._build_indices()
+        assert self._names is not None
+        return self._names.by_product
 
     def _year_index(self) -> dict[int, list[str]]:
-        if self._by_year is None:
-            index: dict[int, list[str]] = {}
-            for entry in self:
-                index.setdefault(entry.published.year, []).append(entry.cve_id)
-            self._by_year = index
-        return self._by_year
+        self._build_indices()
+        assert self._base is not None
+        return self._base.by_year
 
     def _cwe_index(self) -> dict[str, list[str]]:
-        if self._by_cwe is None:
-            index: dict[str, list[str]] = {}
-            for entry in self:
-                for cwe_id in entry.cwe_ids:
-                    index.setdefault(cwe_id, []).append(entry.cve_id)
-            self._by_cwe = index
-        return self._by_cwe
+        self._build_indices()
+        assert self._base is not None
+        return self._base.by_cwe
+
+    def _pair_counts(self) -> dict[tuple[str, str], int]:
+        self._build_indices()
+        assert self._names is not None
+        return self._names.pair_counts
 
     # -- queries ----------------------------------------------------------------
 
@@ -136,62 +233,85 @@ class NvdSnapshot:
 
     def vendor_product_counts(self) -> dict[str, int]:
         """Vendor → number of distinct products listed under it."""
-        pairs: dict[str, set[str]] = {}
-        for entry in self:
-            for vendor, product in entry.vendor_products():
-                pairs.setdefault(vendor, set()).add(product)
-        return {vendor: len(products) for vendor, products in pairs.items()}
+        counts: dict[str, int] = {}
+        for vendor, _ in self._pair_counts():
+            counts[vendor] = counts.get(vendor, 0) + 1
+        return counts
 
     def product_cve_counts(self) -> dict[tuple[str, str], int]:
         """(vendor, product) → number of associated CVEs."""
-        counts: dict[tuple[str, str], int] = {}
-        for entry in self:
-            for pair in entry.vendor_products():
-                counts[pair] = counts.get(pair, 0) + 1
-        return counts
+        return dict(self._pair_counts())
+
+    def vendor_products(self) -> dict[str, set[str]]:
+        """Vendor → the set of product names listed under it."""
+        products: dict[str, set[str]] = {}
+        for vendor, product in self._pair_counts():
+            products.setdefault(vendor, set()).add(product)
+        return products
 
     def with_v3(self) -> list[CveEntry]:
         """Entries carrying a CVSS v3 vector (the ground-truth pool)."""
-        return [entry for entry in self if entry.has_v3]
+        return [entry for entry in self.entries if entry.has_v3]
 
     def v2_only(self) -> list[CveEntry]:
         """Entries with a v2 vector but no v3 (the prediction targets)."""
-        return [entry for entry in self if entry.cvss_v2 and not entry.has_v3]
+        return [
+            entry
+            for entry in self.entries
+            if entry.cvss_v2 is not None and not entry.has_v3
+        ]
 
     def missing_cwe(self) -> list[CveEntry]:
         """Entries whose every CWE label is a sentinel (or absent)."""
         return [
             entry
-            for entry in self
+            for entry in self.entries
             if all(is_sentinel(label) for label in entry.cwe_ids) or not entry.cwe_ids
         ]
 
     def filter(self, predicate: Callable[[CveEntry], bool]) -> "NvdSnapshot":
         """A new snapshot with the entries satisfying ``predicate``."""
-        return NvdSnapshot(entry for entry in self if predicate(entry))
+        return NvdSnapshot(entry for entry in self.entries if predicate(entry))
 
-    def map_entries(self, transform: Callable[[CveEntry], CveEntry]) -> "NvdSnapshot":
-        """A new snapshot with ``transform`` applied to every entry."""
-        return NvdSnapshot(transform(entry) for entry in self)
+    def map_entries(
+        self,
+        transform: Callable[[CveEntry], CveEntry],
+        *,
+        names_only: bool = False,
+    ) -> "NvdSnapshot":
+        """A new snapshot with ``transform`` applied to every entry.
+
+        ``names_only`` declares that ``transform`` only rewrites CPE
+        vendor/product names — ids, dates, CWE labels, references and
+        CVSS vectors are untouched.  The new snapshot then skips the
+        duplicate-id validation and inherits the name-invariant indices
+        (year, CWE, scalar statistics) instead of rebuilding them.
+        """
+        if not names_only:
+            return NvdSnapshot(transform(entry) for entry in self.entries)
+        mapped = {
+            cve_id: transform(entry) for cve_id, entry in self._entries.items()
+        }
+        snapshot = NvdSnapshot._from_trusted(mapped)
+        snapshot._base = self._base  # shared: read-only once built
+        return snapshot
 
     # -- statistics -----------------------------------------------------------
 
     def stats(self) -> SnapshotStats:
-        """The §3 scale summary."""
-        years = [entry.published.year for entry in self]
-        concrete_cwes = {
-            cwe_id
-            for entry in self
-            for cwe_id in entry.cwe_ids
-            if not is_sentinel(cwe_id)
-        }
-        return SnapshotStats(
-            n_cves=len(self),
-            n_vendors=len(self._vendor_index()),
-            n_products=len(self._product_index()),
-            n_cwe_types=len(concrete_cwes),
-            n_with_v3=sum(1 for entry in self if entry.has_v3),
-            n_with_v2=sum(1 for entry in self if entry.cvss_v2 is not None),
-            n_references=sum(len(entry.references) for entry in self),
-            year_range=(min(years), max(years)) if years else (0, 0),
-        )
+        """The §3 scale summary (computed once from the shared indices)."""
+        if self._stats is None:
+            self._build_indices()
+            assert self._base is not None and self._names is not None
+            base = self._base
+            self._stats = SnapshotStats(
+                n_cves=len(self),
+                n_vendors=len(self._names.by_vendor),
+                n_products=len(self._names.by_product),
+                n_cwe_types=base.n_cwe_types,
+                n_with_v3=base.n_with_v3,
+                n_with_v2=base.n_with_v2,
+                n_references=base.n_references,
+                year_range=base.year_range if len(self) else (0, 0),
+            )
+        return self._stats

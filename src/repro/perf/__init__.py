@@ -1,0 +1,29 @@
+"""Lightweight performance instrumentation.
+
+The pipeline's phases (§4.1–§4.4) are timed through a process-wide
+:class:`PerfRecorder`; ``tools/bench.py`` reads the recorder after a
+cleaning run to emit the per-phase wall-time JSON trajectory in
+``BENCH_pipeline.json``.  Instrumentation is always on — a phase is a
+``time.perf_counter()`` pair and a dict update, far below the noise
+floor of the phases it wraps.
+"""
+
+from repro.perf.recorder import (
+    PerfRecorder,
+    PhaseStats,
+    add_counter,
+    get_recorder,
+    peak_rss_mb,
+    phase,
+    reset,
+)
+
+__all__ = [
+    "PerfRecorder",
+    "PhaseStats",
+    "add_counter",
+    "get_recorder",
+    "peak_rss_mb",
+    "phase",
+    "reset",
+]

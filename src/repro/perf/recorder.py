@@ -1,0 +1,135 @@
+"""Phase timers and counters for the cleaning pipeline.
+
+A :class:`PerfRecorder` accumulates named phase timings (wall seconds,
+via :func:`time.perf_counter`) and integer counters.  Phases nest: a
+phase entered while another is open records under a dotted path
+(``severity.fit``), so a report reads like a call tree without any
+tracing machinery.
+
+The module keeps one process-wide default recorder; library code uses
+the module-level :func:`phase` / :func:`add_counter` helpers so callers
+that never look at the recorder pay only a dict update per phase.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import sys
+import time
+from collections.abc import Iterator
+
+__all__ = [
+    "PerfRecorder",
+    "PhaseStats",
+    "add_counter",
+    "get_recorder",
+    "peak_rss_mb",
+    "phase",
+    "reset",
+]
+
+
+@dataclasses.dataclass
+class PhaseStats:
+    """Accumulated wall time for one named phase."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.calls += 1
+
+
+class PerfRecorder:
+    """Accumulates phase timings and counters for one run."""
+
+    def __init__(self) -> None:
+        self._phases: dict[str, PhaseStats] = {}
+        self._counters: dict[str, int] = {}
+        self._stack: list[str] = []
+
+    # -- recording -----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase; nested phases record under dotted paths."""
+        path = f"{self._stack[-1]}.{name}" if self._stack else name
+        self._stack.append(path)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            self._phases.setdefault(path, PhaseStats()).add(elapsed)
+
+    def add_counter(self, name: str, value: int = 1) -> None:
+        """Bump an integer counter (e.g. entries processed)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def reset(self) -> None:
+        """Clear all recorded phases and counters."""
+        self._phases.clear()
+        self._counters.clear()
+        self._stack.clear()
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def phases(self) -> dict[str, PhaseStats]:
+        return dict(self._phases)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Phase path → accumulated wall seconds."""
+        return {name: stats.seconds for name, stats in self._phases.items()}
+
+    def report(self) -> dict[str, object]:
+        """A JSON-serialisable summary of everything recorded."""
+        return {
+            "phases": {
+                name: {"seconds": round(stats.seconds, 6), "calls": stats.calls}
+                for name, stats in self._phases.items()
+            },
+            "counters": dict(self._counters),
+        }
+
+
+_DEFAULT = PerfRecorder()
+
+
+def get_recorder() -> PerfRecorder:
+    """The process-wide default recorder."""
+    return _DEFAULT
+
+
+def phase(name: str) -> contextlib.AbstractContextManager[None]:
+    """Time a phase on the default recorder."""
+    return _DEFAULT.phase(name)
+
+
+def add_counter(name: str, value: int = 1) -> None:
+    """Bump a counter on the default recorder."""
+    _DEFAULT.add_counter(name, value)
+
+
+def reset() -> None:
+    """Clear the default recorder (bench harness calls this per run)."""
+    _DEFAULT.reset()
+
+
+def peak_rss_mb() -> float:
+    """This process's peak resident set size in MiB (0.0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux but bytes on macOS.
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return round(rss / divisor, 2)

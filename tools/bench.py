@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Pipeline benchmark harness.
+
+Runs the full cleaning pipeline (``repro.core.clean``) at one or more
+``REPRO_SCALE`` factors, collects per-phase wall times from the
+:mod:`repro.perf` recorder plus peak RSS, and appends the measurements
+to ``BENCH_pipeline.json`` so the perf trajectory accumulates across
+changes.  After each run it prints a before/after comparison against
+the most recent earlier run at the same scale.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py                  # default scale
+    PYTHONPATH=src python tools/bench.py --scales 0.075 0.25 1.0
+    PYTHONPATH=src python tools/bench.py --label current --epochs 40
+    PYTHONPATH=src python tools/bench.py --check-schema BENCH_pipeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA = "repro-bench/1"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+#: required keys of one run entry and their types.
+_RUN_FIELDS = {
+    "label": str,
+    "scale": (int, float),
+    "n_cves": int,
+    "epochs": int,
+    "wall_s": (int, float),
+    "peak_rss_mb": (int, float),
+    "phases": dict,
+}
+
+
+def validate(data: object) -> list[str]:
+    """Schema errors in a BENCH_pipeline.json document (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return ["document must be a JSON object"]
+    if data.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {data.get('schema')!r}")
+    runs = data.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs must be a non-empty list"]
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            errors.append(f"runs[{i}] must be an object")
+            continue
+        for field, types in _RUN_FIELDS.items():
+            if field not in run:
+                errors.append(f"runs[{i}] missing field {field!r}")
+            elif not isinstance(run[field], types):
+                errors.append(f"runs[{i}].{field} has wrong type")
+        phases = run.get("phases")
+        if isinstance(phases, dict):
+            bad = [k for k, v in phases.items() if not isinstance(v, (int, float))]
+            for key in bad:
+                errors.append(f"runs[{i}].phases[{key!r}] must be a number")
+    return errors
+
+
+def load(path: pathlib.Path) -> dict:
+    if path.exists():
+        with path.open(encoding="utf-8") as handle:
+            return json.load(handle)
+    return {"schema": SCHEMA, "runs": []}
+
+
+def bench_one(scale: float, epochs: int, seed: int, label: str) -> dict:
+    """Run generate + clean at one scale and return the run record."""
+    from repro import perf
+    from repro.core import (
+        EngineConfig,
+        clean,
+        from_ground_truth,
+        product_oracle_from_truth,
+    )
+    from repro.experiments import PAPER_SCALE_CVES
+    from repro.synth import GeneratorConfig, generate
+
+    n_cves = max(2000, int(PAPER_SCALE_CVES * scale))
+    recorder = perf.get_recorder()
+    recorder.reset()
+    print(f"[bench] scale={scale} n_cves={n_cves} epochs={epochs} ...")
+    t_generate = time.perf_counter()
+    bundle = generate(GeneratorConfig(n_cves=n_cves, seed=seed))
+    generate_s = time.perf_counter() - t_generate
+
+    t_clean = time.perf_counter()
+    clean(
+        bundle.snapshot,
+        bundle.web,
+        from_ground_truth(bundle.truth.vendor_map),
+        product_oracle_from_truth(bundle.truth.product_map),
+        engine_config=EngineConfig(epochs=epochs),
+    )
+    wall_s = time.perf_counter() - t_clean
+
+    phases = {name: round(seconds, 3) for name, seconds in recorder.phase_seconds().items()}
+    phases["generate"] = round(generate_s, 3)
+    return {
+        "label": label,
+        "scale": scale,
+        "n_cves": n_cves,
+        "epochs": epochs,
+        "wall_s": round(wall_s, 3),
+        "peak_rss_mb": perf.peak_rss_mb(),
+        "phases": phases,
+        "counters": recorder.counters,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def compare(before: dict, after: dict) -> str:
+    """A before/after table over wall time and shared phases."""
+    lines = [
+        f"before ({before['label']}) vs after ({after['label']}) "
+        f"at scale {after['scale']}:",
+        f"  {'phase':<24}{'before_s':>10}{'after_s':>10}{'speedup':>9}",
+    ]
+
+    def row(name: str, b: float, a: float) -> str:
+        speedup = f"{b / a:6.2f}x" if a > 0 else "    n/a"
+        return f"  {name:<24}{b:>10.3f}{a:>10.3f}{speedup:>9}"
+
+    lines.append(row("TOTAL clean()", before["wall_s"], after["wall_s"]))
+    shared = [k for k in after["phases"] if k in before["phases"]]
+    for name in sorted(shared):
+        lines.append(row(name, before["phases"][name], after["phases"][name]))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales", nargs="+", type=float, default=[0.075],
+        help="REPRO_SCALE factors to run (default: 0.075)",
+    )
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--label", default="current")
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help="trajectory JSON to append to (default: BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "--check-schema", type=pathlib.Path, metavar="FILE",
+        help="validate FILE against the bench schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check_schema is not None:
+        try:
+            with args.check_schema.open(encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"[bench] {args.check_schema}: unreadable: {error}")
+            return 1
+        errors = validate(data)
+        for error in errors:
+            print(f"[bench] schema error: {error}")
+        print(
+            f"[bench] {args.check_schema}: "
+            + ("INVALID" if errors else f"valid ({len(data['runs'])} runs)")
+        )
+        return 1 if errors else 0
+
+    for scale in args.scales:
+        if scale <= 0:
+            parser.error(f"--scales must be positive, got {scale}")
+
+    document = load(args.output)
+    if "runs" not in document or not isinstance(document.get("runs"), list):
+        document = {"schema": SCHEMA, "runs": []}
+    document["schema"] = SCHEMA
+
+    for scale in args.scales:
+        run = bench_one(scale, args.epochs, args.seed, args.label)
+        earlier = [
+            r
+            for r in document["runs"]
+            if r.get("scale") == scale and r.get("epochs") == run["epochs"]
+        ]
+        document["runs"].append(run)
+        print(
+            f"[bench] scale={scale}: clean() {run['wall_s']}s, "
+            f"peak RSS {run['peak_rss_mb']} MiB"
+        )
+        if earlier:
+            print(compare(earlier[-1], run))
+
+    errors = validate(document)
+    if errors:  # defensive: never write a file CI would reject
+        for error in errors:
+            print(f"[bench] internal schema error: {error}")
+        return 1
+    args.output.write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"[bench] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
