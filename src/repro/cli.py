@@ -84,7 +84,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         bundle.web,
         from_ground_truth(bundle.truth.vendor_map),
         product_oracle_from_truth(bundle.truth.product_map),
-        engine_config=EngineConfig(epochs=args.epochs, models=("lr", "dnn")),
+        engine_config=EngineConfig(
+            epochs=args.epochs,
+            models=("lr", "dnn"),
+            workers=args.workers,
+            backend=args.backend,
+        ),
+        crawl_cache=args.crawl_cache,
     )
     report = rectified.report
     rows = [
@@ -132,6 +138,20 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--seed", type=int, default=2018)
     cmd.add_argument("--epochs", type=int, default=10)
     cmd.add_argument("--out", default=None)
+    cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="execution-runtime workers (default: REPRO_WORKERS or 1); "
+        "all backends produce bit-identical results",
+    )
+    cmd.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="executor backend (default: REPRO_BACKEND, or thread when N > 1)",
+    )
+    cmd.add_argument(
+        "--crawl-cache", default=None, metavar="PATH",
+        help="persistent crawl cache JSON; repeated runs skip re-fetching "
+        "reference URLs (default: REPRO_CRAWL_CACHE or no cache)",
+    )
     cmd.set_defaults(func=_cmd_demo)
     return parser
 

@@ -11,12 +11,17 @@ from __future__ import annotations
 
 import dataclasses
 import datetime
+import functools
+from collections import Counter
+from collections.abc import Sequence
 
 import numpy as np
 
+from repro import perf
 from repro.cvss import Severity
 from repro.nvd import CveEntry, NvdSnapshot
-from repro.web import ReferenceCrawler, WebClient
+from repro.runtime import Executor, map_shards
+from repro.web import CrawlCache, ReferenceCrawler, WebClient
 
 __all__ = [
     "DisclosureEstimate",
@@ -68,14 +73,59 @@ def estimate_disclosure(
     )
 
 
+#: entries per executor shard.  Fixed — never derived from the worker
+#: count — so shard boundaries (and thus results) are identical across
+#: serial, thread and process runs.
+_DATES_CHUNK = 512
+
+
+def _estimate_chunk(
+    entries: Sequence[CveEntry],
+    client: WebClient,
+    cache: CrawlCache | None,
+) -> tuple[list[DisclosureEstimate], Counter, dict]:
+    """Worker body: estimate one shard of entries.
+
+    Returns the estimates plus the crawl counters and any new cache
+    entries, so the parent can merge bookkeeping from process workers
+    that operated on pickled copies.
+    """
+    crawler = ReferenceCrawler(client, cache=cache)
+    estimates = [estimate_disclosure(entry, crawler) for entry in entries]
+    new_entries = cache.new_entries() if cache is not None else {}
+    return estimates, crawler.counters, new_entries
+
+
 def estimate_all(
-    snapshot: NvdSnapshot, client: WebClient
+    snapshot: NvdSnapshot,
+    client: WebClient,
+    cache: CrawlCache | None = None,
+    executor: Executor | None = None,
 ) -> dict[str, DisclosureEstimate]:
-    """Estimate disclosure dates for every entry in a snapshot."""
-    crawler = ReferenceCrawler(client)
-    return {
-        entry.cve_id: estimate_disclosure(entry, crawler) for entry in snapshot
-    }
+    """Estimate disclosure dates for every entry in a snapshot.
+
+    Entries shard across ``executor`` in fixed-size chunks (each CVE's
+    estimate is independent, so any backend returns identical results);
+    ``cache`` lets repeated runs replay per-URL scrape outcomes instead
+    of re-fetching.  The merged crawl counters land in the perf
+    recorder under ``dates.*``; note the ``cache_hit``/``cache_miss``
+    split is diagnostic only — it shifts with the backend (process
+    workers scrape against cold cache copies), while the estimates
+    themselves never do.
+    """
+    worker = functools.partial(_estimate_chunk, client=client, cache=cache)
+    shards = map_shards(executor, worker, snapshot.entries, _DATES_CHUNK)
+    estimates = [estimate for shard, _, _ in shards for estimate in shard]
+    counters: Counter = Counter()
+    for _, shard_counters, new_entries in shards:
+        counters.update(shard_counters)
+        if cache is not None:
+            cache.merge(new_entries)
+    for name, value in sorted(counters.items()):
+        perf.add_counter(f"dates.{name}", value)
+    if cache is not None:
+        cache.save()
+    return {estimate.cve_id: estimate for estimate in estimates}
 
 
 def lag_cdf(

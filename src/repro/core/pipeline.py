@@ -14,10 +14,11 @@ reads the recorder to emit the per-phase trajectory in
 from __future__ import annotations
 
 import dataclasses
+import os
 from collections.abc import Callable
 
 from repro import perf
-from repro.cvss import Severity
+from repro.cvss import Severity, severity_v3
 from repro.core.cwefix import CweFixResult, apply_cwe_fixes, extract_cwe_fixes
 from repro.core.dates import DisclosureEstimate, estimate_all
 from repro.core.products import (
@@ -28,7 +29,8 @@ from repro.core.products import (
 from repro.core.severity import EngineConfig, SeverityPredictionEngine
 from repro.core.vendors import VendorAnalysis, analyze_vendors, apply_vendor_mapping
 from repro.nvd import NvdSnapshot
-from repro.web import WebClient
+from repro.runtime import Executor, make_executor
+from repro.web import CrawlCache, WebClient
 
 __all__ = ["CleaningReport", "RectifiedNvd", "clean"]
 
@@ -77,14 +79,41 @@ def clean(
     confirm_product: Callable[[str, str, str], bool],
     engine_config: EngineConfig | None = None,
     prediction_model: str | None = None,
+    executor: Executor | None = None,
+    crawl_cache: CrawlCache | str | os.PathLike[str] | None = None,
 ) -> RectifiedNvd:
     """Run the full cleaning pipeline over a snapshot.
 
     ``prediction_model`` defaults to the best model by held-out
     accuracy (the paper selects its CNN).
+
+    ``executor`` shards the four hot phases (date crawling, vendor and
+    product pair scoring, model training/prediction) across workers;
+    when omitted it is built from ``engine_config.workers`` /
+    ``engine_config.backend`` (which themselves default through
+    ``REPRO_WORKERS`` / ``REPRO_BACKEND``).  All backends produce
+    bit-identical results.
+
+    ``crawl_cache`` — a :class:`repro.web.CrawlCache` or a path to one
+    (default: the ``REPRO_CRAWL_CACHE`` environment variable, unset
+    meaning no cache) — lets repeated runs replay §4.1 per-URL scrape
+    outcomes instead of re-fetching.
     """
+    config = engine_config or EngineConfig()
+    owns_executor = executor is None
+    if executor is None:
+        executor = make_executor(config.workers, config.backend)
+    if crawl_cache is None:
+        cache_path = os.environ.get("REPRO_CRAWL_CACHE")
+        cache = CrawlCache(cache_path) if cache_path else None
+    elif isinstance(crawl_cache, CrawlCache):
+        cache = crawl_cache
+    else:
+        cache = CrawlCache(crawl_cache)
+
     recorder = perf.get_recorder()
     recorder.add_counter("clean.n_cves", len(snapshot))
+    recorder.add_counter("clean.workers", executor.workers)
 
     # One shared pass partitions the snapshot into the §4.3 pools: the
     # dual-scored training entries (v3) and the v2-scored prediction
@@ -101,39 +130,57 @@ def clean(
             if not entry.has_v3:
                 n_v3_predicted += 1
 
-    # §4.1 — disclosure dates.
-    with recorder.phase("dates"):
-        estimates = estimate_all(snapshot, web_client)
-
-    # §4.2 — vendor names first, then products under consolidated vendors.
-    with recorder.phase("vendors"):
-        vendor_analysis = analyze_vendors(snapshot, confirm_vendor)
-        after_vendors = apply_vendor_mapping(snapshot, vendor_analysis.mapping)
-    with recorder.phase("products"):
-        product_analysis = analyze_products(after_vendors, confirm_product)
-        after_names = apply_product_mapping(after_vendors, product_analysis.mapping)
-
-    # §4.3 — severity backporting.
-    with recorder.phase("severity"):
-        with recorder.phase("fit"):
-            engine = SeverityPredictionEngine(engine_config).fit(with_v3)
-        with recorder.phase("select"):
-            model = prediction_model or engine.best_model()
-        with recorder.phase("predict"):
-            predictions = engine.predict_scores(scored, model=model)
-            pv3_scores = {
-                entry.cve_id: float(score)
-                for entry, score in zip(scored, predictions)
-            }
-            severities = engine.predict_severities(scored, model=model)
-            pv3_severity = dict(
-                zip((entry.cve_id for entry in scored), severities)
+    try:
+        # §4.1 — disclosure dates.
+        with recorder.phase("dates"):
+            estimates = estimate_all(
+                snapshot, web_client, cache=cache, executor=executor
             )
 
-    # §4.4 — CWE recovery.
-    with recorder.phase("cwe"):
-        cwe_fixes = extract_cwe_fixes(after_names)
-        rectified = apply_cwe_fixes(after_names, cwe_fixes)
+        # §4.2 — vendor names first, then products under consolidated vendors.
+        with recorder.phase("vendors"):
+            vendor_analysis = analyze_vendors(
+                snapshot, confirm_vendor, executor=executor
+            )
+            after_vendors = apply_vendor_mapping(snapshot, vendor_analysis.mapping)
+        with recorder.phase("products"):
+            product_analysis = analyze_products(
+                after_vendors, confirm_product, executor=executor
+            )
+            after_names = apply_product_mapping(
+                after_vendors, product_analysis.mapping
+            )
+
+        # §4.3 — severity backporting.
+        with recorder.phase("severity"):
+            with recorder.phase("fit"):
+                engine = SeverityPredictionEngine(config, executor=executor).fit(
+                    with_v3
+                )
+            with recorder.phase("select"):
+                model = prediction_model or engine.best_model()
+            with recorder.phase("predict"):
+                predictions = engine.predict_scores(scored, model=model)
+                pv3_scores = {
+                    entry.cve_id: float(score)
+                    for entry, score in zip(scored, predictions)
+                }
+                # Band severities from the scores just computed instead
+                # of running the full network forward a second time
+                # (predict_severities re-predicts internally) — same
+                # labels, half the predict-phase wall time.
+                pv3_severity = {
+                    entry.cve_id: severity_v3(score)
+                    for entry, score in zip(scored, predictions)
+                }
+
+        # §4.4 — CWE recovery.
+        with recorder.phase("cwe"):
+            cwe_fixes = extract_cwe_fixes(after_names)
+            rectified = apply_cwe_fixes(after_names, cwe_fixes)
+    finally:
+        if owns_executor:
+            executor.close()
 
     recorder.add_counter("clean.n_scored", len(scored))
     recorder.add_counter("clean.n_v3_predicted", n_v3_predicted)

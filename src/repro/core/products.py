@@ -15,9 +15,11 @@ products — the confirmation step must reject those).
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Callable
+import functools
+from collections.abc import Callable, Sequence
 
 from repro.nvd import CveEntry, NvdSnapshot
+from repro.runtime import Executor, map_shards
 from repro.synth.names import abbreviate, tokenize_name
 
 __all__ = [
@@ -87,19 +89,23 @@ class ProductAnalysis:
         return len({vendor for vendor, _ in self.mapping})
 
 
-def product_candidate_pairs(
-    products_by_vendor: dict[str, set[str]],
-    edit_distance_cap: int = 1,
-) -> list[ProductPair]:
-    """Generate candidate product pairs per vendor.
+#: vendors per executor shard.  Fixed — independent of worker count —
+#: so shard boundaries and output order match the serial path exactly.
+_VENDORS_CHUNK = 256
 
-    Heuristic 1: identical token sequences.  Heuristic 2: one name is
-    the abbreviation (first characters) of the other's tokens.
-    Heuristic 3: edit distance ≤ ``edit_distance_cap`` (human typos).
+
+def _vendor_product_pairs(
+    vendor_shard: Sequence[tuple[str, set[str]]],
+    edit_distance_cap: int,
+) -> list[ProductPair]:
+    """Worker body: candidate product pairs for one shard of vendors.
+
+    Each vendor's scoring is independent of every other vendor's, so
+    sharding the vendor list preserves results for any backend.
     """
     pairs: list[ProductPair] = []
 
-    for vendor, products in products_by_vendor.items():
+    for vendor, products in vendor_shard:
         ordered = sorted(products)
         # Per-vendor pair dedup over index tuples: ``ordered`` is
         # sorted, so index order doubles as lexicographic name order.
@@ -166,15 +172,43 @@ def product_candidate_pairs(
     return pairs
 
 
+def product_candidate_pairs(
+    products_by_vendor: dict[str, set[str]],
+    edit_distance_cap: int = 1,
+    executor: Executor | None = None,
+) -> list[ProductPair]:
+    """Generate candidate product pairs per vendor.
+
+    Heuristic 1: identical token sequences.  Heuristic 2: one name is
+    the abbreviation (first characters) of the other's tokens.
+    Heuristic 3: edit distance ≤ ``edit_distance_cap`` (human typos).
+
+    Vendors shard across ``executor`` in fixed-size chunks; results
+    concatenate in vendor order, matching the serial path exactly.
+    """
+    worker = functools.partial(
+        _vendor_product_pairs, edit_distance_cap=edit_distance_cap
+    )
+    shards = map_shards(
+        executor, worker, list(products_by_vendor.items()), _VENDORS_CHUNK
+    )
+    return [pair for shard in shards for pair in shard]
+
+
 def analyze_products(
     snapshot: NvdSnapshot,
     confirm: ConfirmOracle,
     edit_distance_cap: int = 1,
+    executor: Executor | None = None,
 ) -> ProductAnalysis:
-    """Run the §4.2 product workflow (post vendor consolidation)."""
+    """Run the §4.2 product workflow (post vendor consolidation).
+
+    Pair generation shards across ``executor``; confirmation stays in
+    the calling thread (see :func:`repro.core.vendors.analyze_vendors`).
+    """
     products_by_vendor = snapshot.vendor_products()
     candidates = product_candidate_pairs(
-        products_by_vendor, edit_distance_cap=edit_distance_cap
+        products_by_vendor, edit_distance_cap=edit_distance_cap, executor=executor
     )
     confirmed = [
         pair for pair in candidates if confirm(pair.vendor, pair.name_a, pair.name_b)

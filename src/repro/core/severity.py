@@ -43,6 +43,7 @@ from repro.ml import (
     stratified_split,
 )
 from repro.nvd import CveEntry
+from repro.runtime import Executor, make_executor
 
 __all__ = [
     "EngineConfig",
@@ -139,6 +140,15 @@ class EngineConfig:
     #: at paper scale) and is far above the precision the 13-feature
     #: regression needs; set "float64" to reproduce full precision.
     nn_dtype: str = "float32"
+    #: execution-runtime worker count (None → the ``REPRO_WORKERS``
+    #: environment variable, default 1).  The four models train as
+    #: independent tasks and prediction batches shard across workers;
+    #: every backend returns bit-identical results (see
+    #: :mod:`repro.runtime`).
+    workers: int | None = None
+    #: executor backend: "serial", "thread" or "process" (None → the
+    #: ``REPRO_BACKEND`` environment variable / a workers-based default).
+    backend: str | None = None
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -190,11 +200,53 @@ def _build_dnn(rng: np.random.Generator, n_features: int) -> Sequential:
     )
 
 
+def _train_model_task(
+    task: "tuple[str, object, EngineConfig, np.ndarray, np.ndarray]",
+) -> tuple[str, object]:
+    """Worker body: train one of the §4.3 models.
+
+    Module-level (picklable) so model training can shard across the
+    process backend; each model's training is self-contained — its rngs
+    are re-seeded from the config — so any backend trains identical
+    models in any order.
+    """
+    name, model, config, x_train, y_train = task
+    if name == "lr":
+        return name, LinearRegression().fit(x_train, y_train)
+    if name == "svr":
+        return name, SupportVectorRegressor(
+            c=config.svr_c,
+            gamma=config.svr_gamma,
+            max_support=config.svr_max_support,
+            seed=config.seed,
+        ).fit(x_train, y_train)
+    # cnn / dnn — the network was built in the parent (weight init
+    # consumes a shared rng stream whose order must match the serial
+    # path); training itself is deterministic given the config seed.
+    fit(
+        model,
+        x_train[:, :, None] if name == "cnn" else x_train,
+        (y_train / 10.0)[:, None],
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        learning_rate=config.learning_rate,
+        seed=config.seed,
+        dtype=np.dtype(config.nn_dtype),
+    )
+    return name, model
+
+
 class SeverityPredictionEngine:
     """Train on dual-scored CVEs, predict v3 scores for the rest."""
 
-    def __init__(self, config: EngineConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        executor: Executor | None = None,
+    ) -> None:
         self.config = config or EngineConfig()
+        self._executor = executor
+        self._owns_executor = executor is None
         self._models: dict[str, object] = {}
         self._train_idx: np.ndarray | None = None
         self._test_idx: np.ndarray | None = None
@@ -202,15 +254,44 @@ class SeverityPredictionEngine:
         self._y: np.ndarray | None = None
         self._entries: list[CveEntry] = []
 
+    @property
+    def executor(self) -> Executor:
+        """The engine's executor (built lazily from the config)."""
+        if self._executor is None:
+            self._executor = make_executor(
+                self.config.workers, self.config.backend
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release the worker pools of an engine-built executor.
+
+        Only touches an executor the engine built itself — an injected
+        executor's lifecycle belongs to its creator (``clean()`` closes
+        the one it builds).  Safe to call eagerly: pools re-spawn
+        lazily if the engine predicts again afterwards.
+        """
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+
     # -- training ----------------------------------------------------------
 
     def fit(self, entries: list[CveEntry]) -> "SeverityPredictionEngine":
-        """Train all configured models on CVEs carrying both scores."""
+        """Train all configured models on CVEs carrying both scores.
+
+        Models are independent given the training split, so they train
+        as one executor task each (the CNN dominates, so the speedup is
+        bounded by its share, but the DNN/SVR/LR ride along free on
+        spare workers).
+        """
         usable = [e for e in entries if e.cvss_v2 is not None and e.has_v3]
         if len(usable) < 10:
             raise ValueError(
                 f"need at least 10 dual-scored CVEs to train, got {len(usable)}"
             )
+        unknown = [n for n in self.config.models if n not in ("lr", "svr", "cnn", "dnn")]
+        if unknown:
+            raise ValueError(f"unknown model {unknown[0]!r}")
         self._entries = usable
         self._x = feature_matrix(usable)
         self._y = np.array([entry.v3_score for entry in usable], dtype=float)
@@ -222,44 +303,16 @@ class SeverityPredictionEngine:
         y_train = self._y[self._train_idx]
         rng = np.random.default_rng(self.config.seed)
 
+        tasks = []
         for name in self.config.models:
-            if name == "lr":
-                self._models[name] = LinearRegression().fit(x_train, y_train)
-            elif name == "svr":
-                self._models[name] = SupportVectorRegressor(
-                    c=self.config.svr_c,
-                    gamma=self.config.svr_gamma,
-                    max_support=self.config.svr_max_support,
-                    seed=self.config.seed,
-                ).fit(x_train, y_train)
-            elif name == "cnn":
+            model: object = None
+            if name == "cnn":
                 model = _build_cnn(rng, self._x.shape[1])
-                fit(
-                    model,
-                    x_train[:, :, None],
-                    (y_train / 10.0)[:, None],
-                    epochs=self.config.epochs,
-                    batch_size=self.config.batch_size,
-                    learning_rate=self.config.learning_rate,
-                    seed=self.config.seed,
-                    dtype=np.dtype(self.config.nn_dtype),
-                )
-                self._models[name] = model
             elif name == "dnn":
                 model = _build_dnn(rng, self._x.shape[1])
-                fit(
-                    model,
-                    x_train,
-                    (y_train / 10.0)[:, None],
-                    epochs=self.config.epochs,
-                    batch_size=self.config.batch_size,
-                    learning_rate=self.config.learning_rate,
-                    seed=self.config.seed,
-                    dtype=np.dtype(self.config.nn_dtype),
-                )
-                self._models[name] = model
-            else:
-                raise ValueError(f"unknown model {name!r}")
+            tasks.append((name, model, self.config, x_train, y_train))
+        for name, trained in self.executor.map(_train_model_task, tasks):
+            self._models[name] = trained
         return self
 
     # -- prediction ----------------------------------------------------------
@@ -273,7 +326,12 @@ class SeverityPredictionEngine:
             # all-float32 path instead of upcasting every layer.
             x = np.asarray(x, dtype=np.dtype(self.config.nn_dtype))
             batched = x[:, :, None] if model_name == "cnn" else x
-            raw = model.predict(batched).reshape(-1).astype(float) * 10.0
+            raw = (
+                model.predict(batched, executor=self.executor)
+                .reshape(-1)
+                .astype(float)
+                * 10.0
+            )
         else:
             raw = model.predict(x)
         return np.clip(raw, 0.0, 10.0)

@@ -23,9 +23,11 @@ PaV × longest-substring-match ≥3 or <3) is computed per pair.
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Callable
+import functools
+from collections.abc import Callable, Sequence
 
 from repro.nvd import CveEntry, NvdSnapshot
+from repro.runtime import Executor, map_shards
 from repro.synth.names import abbreviate, tokenize_name
 
 __all__ = [
@@ -147,10 +149,47 @@ def _char_4grams(name: str) -> set[str]:
     return {stripped[i : i + 4] for i in range(len(stripped) - 3)}
 
 
+#: candidate pairs per executor shard for feature scoring.  Fixed, so
+#: shard boundaries never depend on the worker count (bit-equivalence).
+_PAIRS_CHUNK = 1024
+
+
+def _score_pair_chunk(
+    pairs: Sequence[tuple[str, str]],
+    tokens_by_name: dict[str, tuple[str, ...]],
+    vendor_products: dict[str, set[str]],
+) -> list[PairFeatures]:
+    """Worker body: Table 2 features for one shard of candidate pairs.
+
+    The longest-common-substring scan is the quadratic heart of §4.2's
+    scoring, which is why this — and not the cheap blocking passes — is
+    the sharded step.
+    """
+    empty: set[str] = set()
+    features: list[PairFeatures] = []
+    for a, b in pairs:
+        tokens_a, tokens_b = tokens_by_name[a], tokens_by_name[b]
+        products_a = vendor_products.get(a, empty)
+        products_b = vendor_products.get(b, empty)
+        features.append(
+            PairFeatures(
+                name_a=a,
+                name_b=b,
+                tokens_identical=tokens_a == tokens_b and bool(tokens_a),
+                matching_products=len(products_a & products_b),
+                is_prefix=a.startswith(b) or b.startswith(a),
+                product_as_vendor=(a in products_b) or (b in products_a),
+                lcs_length=longest_common_substring(a, b),
+            )
+        )
+    return features
+
+
 def candidate_pairs(
     vendors: list[str],
     vendor_products: dict[str, set[str]],
     max_bucket: int = 60,
+    executor: Executor | None = None,
 ) -> list[PairFeatures]:
     """Generate candidate pairs via the §4.2 heuristics with blocking.
 
@@ -267,25 +306,18 @@ def candidate_pairs(
         if smaller >= 5 and shared >= max(1, smaller - 5):
             add(a, b)
 
-    empty: set[str] = set()
-    features: list[PairFeatures] = []
-    for ia, ib in sorted(pairs, key=lambda p: (vendors[p[0]], vendors[p[1]])):
-        a, b = vendors[ia], vendors[ib]
-        tokens_a, tokens_b = tokens_of[ia], tokens_of[ib]
-        products_a = vendor_products.get(a, empty)
-        products_b = vendor_products.get(b, empty)
-        features.append(
-            PairFeatures(
-                name_a=a,
-                name_b=b,
-                tokens_identical=tokens_a == tokens_b and bool(tokens_a),
-                matching_products=len(products_a & products_b),
-                is_prefix=a.startswith(b) or b.startswith(a),
-                product_as_vendor=(a in products_b) or (b in products_a),
-                lcs_length=longest_common_substring(a, b),
-            )
-        )
-    return features
+    ordered_pairs = [
+        (vendors[ia], vendors[ib])
+        for ia, ib in sorted(pairs, key=lambda p: (vendors[p[0]], vendors[p[1]]))
+    ]
+    tokens_by_name = dict(zip(vendors, tokens_of))
+    worker = functools.partial(
+        _score_pair_chunk,
+        tokens_by_name=tokens_by_name,
+        vendor_products=vendor_products,
+    )
+    shards = map_shards(executor, worker, ordered_pairs, _PAIRS_CHUNK)
+    return [features for shard in shards for features in shard]
 
 
 class _UnionFind:
@@ -311,15 +343,20 @@ def analyze_vendors(
     snapshot: NvdSnapshot,
     confirm: ConfirmOracle,
     max_bucket: int = 60,
+    executor: Executor | None = None,
 ) -> VendorAnalysis:
     """Run the full §4.2 vendor workflow against a snapshot.
 
     ``confirm`` plays the manual-investigation role: given two names it
-    answers whether they denote the same vendor.
+    answers whether they denote the same vendor.  Pair scoring shards
+    across ``executor``; confirmation stays in the calling thread (the
+    oracle may be an interactive analyst or an unpicklable closure).
     """
     vendors = snapshot.vendors()
     vendor_products = _vendor_products(snapshot)
-    candidates = candidate_pairs(vendors, vendor_products, max_bucket=max_bucket)
+    candidates = candidate_pairs(
+        vendors, vendor_products, max_bucket=max_bucket, executor=executor
+    )
     confirmed = [
         features
         for features in candidates

@@ -8,7 +8,9 @@ usual libraries (sklearn, TensorFlow) are available offline, so this
 package implements the full stack from scratch:
 
 - :mod:`repro.ml.nn` — layers (Dense, Conv1D, Flatten, activations),
-  MSE loss, Adam optimizer, and a mini-batch training loop;
+  MSE loss, Adam optimizer, and a mini-batch training loop; training
+  and prediction can shard batches across a
+  :class:`repro.runtime.Executor` with bit-identical results;
 - :mod:`repro.ml.linear` — closed-form ridge/linear regression;
 - :mod:`repro.ml.svr` — RBF-kernel epsilon-SVR trained by
   Pegasos-style stochastic subgradient descent;

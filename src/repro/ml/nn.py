@@ -13,15 +13,31 @@ equivalent, and the layer widths (64/64/128/128 conv + 512 dense, DNN
 
 Hot-path notes: every contraction routes through BLAS matmuls (the
 convolution gradients fold their batch and length axes into one GEMM
-instead of an ``einsum`` that numpy cannot dispatch to BLAS), the Adam
-step updates its moments in place through reusable scratch buffers, and
-the whole stack runs in float32 when asked (``Sequential.astype`` /
-``fit(dtype=...)``) for another ~2x on memory-bound layers.
+instead of an ``einsum`` that numpy cannot dispatch to BLAS), layers
+reuse persistent scratch buffers instead of reallocating per batch,
+the Adam step updates its moments in place, and the whole stack runs
+in float32 when asked (``Sequential.astype`` / ``fit(dtype=...)``) for
+another ~2x on memory-bound layers.
+
+Parallel execution: :meth:`Sequential.predict` and :func:`fit` accept a
+:class:`repro.runtime.Executor`.  Work shards along the batch axis in
+chunks whose boundaries depend only on fixed chunk sizes (never the
+worker count) and partial results reduce in input order, so every
+backend produces bit-identical outputs.  Worker tasks run on
+:meth:`Sequential.worker_copy` clones — fresh layer/gradient state over
+shared weights — because layers cache forward state and are therefore
+not reentrant.
 """
 
 from __future__ import annotations
 
+import copy
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime import Executor
 
 __all__ = [
     "Parameter",
@@ -34,8 +50,16 @@ __all__ = [
     "Sequential",
     "MSELoss",
     "Adam",
+    "GRAD_CHUNK_ROWS",
     "fit",
 ]
+
+#: rows per gradient shard when a minibatch is large enough to chunk.
+#: Fixed — never derived from the worker count — so chunk boundaries,
+#: and therefore the order gradients accumulate in, are identical for
+#: serial, thread and process runs (the bit-equivalence contract).
+#: The paper-default minibatch of 64 stays a single shard.
+GRAD_CHUNK_ROWS = 4096
 
 
 class Parameter:
@@ -59,8 +83,28 @@ class Parameter:
 class Layer:
     """Base class: forward caches what backward needs."""
 
+    #: attributes holding per-call forward/scratch state; cleared on
+    #: :meth:`worker_copy` so clones never alias the donor's caches.
+    _STATE_ATTRS: tuple[str, ...] = ()
+
     def parameters(self) -> list[Parameter]:
         return []
+
+    def worker_copy(self) -> "Layer":
+        """A clone for one executor task: shared weights, fresh state.
+
+        ``Parameter`` objects are replaced by new ones sharing the
+        *value* arrays (read-only during forward/backward) with private
+        gradient buffers, so concurrent tasks never write to the same
+        memory.
+        """
+        clone = copy.copy(self)
+        for name, attr in vars(self).items():
+            if isinstance(attr, Parameter):
+                setattr(clone, name, Parameter(attr.value))
+        for attr in self._STATE_ATTRS:
+            setattr(clone, attr, None)
+        return clone
 
     def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -75,6 +119,8 @@ class Dense(Layer):
     Weights use He-uniform initialisation, suitable for the ReLU
     activations that follow most layers here.
     """
+
+    _STATE_ATTRS = ("_input", "_wgrad")
 
     def __init__(
         self,
@@ -92,6 +138,9 @@ class Dense(Layer):
         )
         self.bias = Parameter(np.zeros(out_features, dtype=dtype))
         self._input: np.ndarray | None = None
+        #: scratch for the weight-gradient GEMM, reused across batches
+        #: (the product is as large as the weight matrix itself).
+        self._wgrad: np.ndarray | None = None
 
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
@@ -102,7 +151,12 @@ class Dense(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         assert self._input is not None, "backward called before forward"
-        self.weight.grad += self._input.T @ grad
+        wgrad = self._wgrad
+        shape = self.weight.value.shape
+        if wgrad is None or wgrad.shape != shape or wgrad.dtype != grad.dtype:
+            wgrad = self._wgrad = np.empty(shape, dtype=grad.dtype)
+        np.matmul(self._input.T, grad, out=wgrad)
+        self.weight.grad += wgrad
         self.bias.grad += grad.sum(axis=0)
         return grad @ self.weight.value.T
 
@@ -113,6 +167,14 @@ class Conv1D(Layer):
     Input shape ``(batch, length, in_channels)``; kernel shape
     ``(kernel_size, in_channels, out_channels)``.
     """
+
+    _STATE_ATTRS = (
+        "_columns",
+        "_padded",
+        "_grad_columns",
+        "_grad_padded",
+        "_wgrad",
+    )
 
     def __init__(
         self,
@@ -133,13 +195,30 @@ class Conv1D(Layer):
             ).astype(dtype, copy=False)
         )
         self.bias = Parameter(np.zeros(out_channels, dtype=dtype))
+        # Persistent scratch, reallocated only when the batch shape or
+        # dtype changes (in training: twice per epoch, for the final
+        # short batch).  The padded buffers are written only in their
+        # interior, so their zero borders survive across batches.
         self._columns: np.ndarray | None = None
+        self._padded: np.ndarray | None = None
+        self._grad_columns: np.ndarray | None = None
+        self._grad_padded: np.ndarray | None = None
+        self._wgrad: np.ndarray | None = None
         self._batch = 0
         self._input_length = 0
         self._in_channels = in_channels
 
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
+
+    def _scratch(self, name: str, shape: tuple[int, ...], dtype: np.dtype, zero: bool = False) -> np.ndarray:
+        buffer = getattr(self, name)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.zeros(shape, dtype=dtype)
+            setattr(self, name, buffer)
+        elif zero:
+            buffer[...] = 0.0
+        return buffer
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         # im2col: gather the kernel_size shifted views of the padded
@@ -149,20 +228,22 @@ class Conv1D(Layer):
         # same contraction orders of magnitude slower.
         pad = self.kernel_size // 2
         batch, length, in_channels = x.shape
-        padded = np.pad(x, ((0, 0), (pad, pad), (0, 0)))
-        columns = np.empty(
-            (batch, length, self.kernel_size * in_channels), dtype=padded.dtype
+        dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.dtype(float)
+        padded = self._scratch("_padded", (batch, length + 2 * pad, in_channels), dtype)
+        padded[:, pad : pad + length, :] = x  # borders stay zero
+        columns = self._scratch(
+            "_columns", (batch * length, self.kernel_size * in_channels), dtype
         )
+        shaped = columns.reshape(batch, length, self.kernel_size * in_channels)
         for offset in range(self.kernel_size):
-            columns[:, :, offset * in_channels : (offset + 1) * in_channels] = padded[
+            shaped[:, :, offset * in_channels : (offset + 1) * in_channels] = padded[
                 :, offset : offset + length, :
             ]
-        self._columns = columns.reshape(batch * length, -1)
         self._batch = batch
         self._input_length = length
         out_channels = self.bias.value.shape[0]
         flat_weight = self.weight.value.reshape(-1, out_channels)
-        out = self._columns @ flat_weight
+        out = columns @ flat_weight
         out += self.bias.value
         return out.reshape(batch, length, out_channels)
 
@@ -173,24 +254,39 @@ class Conv1D(Layer):
         in_channels = self._in_channels
         out_channels = grad.shape[2]
         flat_grad = np.ascontiguousarray(grad).reshape(batch * length, out_channels)
-        self.weight.grad += (self._columns.T @ flat_grad).reshape(
-            self.weight.value.shape
+        wgrad = self._scratch(
+            "_wgrad",
+            (self.kernel_size * in_channels, out_channels),
+            flat_grad.dtype,
         )
+        np.matmul(self._columns.T, flat_grad, out=wgrad)
+        self.weight.grad += wgrad.reshape(self.weight.value.shape)
         self.bias.grad += flat_grad.sum(axis=0)
         flat_weight = self.weight.value.reshape(-1, out_channels)
-        grad_columns = (flat_grad @ flat_weight.T).reshape(
-            batch, length, self.kernel_size, in_channels
+        grad_columns = self._scratch(
+            "_grad_columns",
+            (batch * length, self.kernel_size * in_channels),
+            flat_grad.dtype,
         )
-        grad_padded = np.zeros(
-            (batch, length + 2 * pad, in_channels), dtype=grad_columns.dtype
+        np.matmul(flat_grad, flat_weight.T, out=grad_columns)
+        shaped = grad_columns.reshape(batch, length, self.kernel_size, in_channels)
+        grad_padded = self._scratch(
+            "_grad_padded",
+            (batch, length + 2 * pad, in_channels),
+            flat_grad.dtype,
+            zero=True,
         )
         for offset in range(self.kernel_size):
-            grad_padded[:, offset : offset + length, :] += grad_columns[:, :, offset, :]
+            grad_padded[:, offset : offset + length, :] += shaped[:, :, offset, :]
+        # NOTE: a view into persistent scratch — valid until the next
+        # backward() on this layer, which is all Sequential needs.
         return grad_padded[:, pad : pad + length, :]
 
 
 class Flatten(Layer):
     """Collapse all non-batch dimensions."""
+
+    _STATE_ATTRS = ("_shape",)
 
     def __init__(self) -> None:
         self._shape: tuple[int, ...] | None = None
@@ -205,6 +301,8 @@ class Flatten(Layer):
 
 
 class ReLU(Layer):
+    _STATE_ATTRS = ("_mask",)
+
     def __init__(self) -> None:
         self._mask: np.ndarray | None = None
 
@@ -214,11 +312,19 @@ class ReLU(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         assert self._mask is not None, "backward called before forward"
-        return np.where(self._mask, grad, 0.0)
+        # One fused in-place pass (multiplying by the boolean mask)
+        # instead of np.where's allocation.  Mutating ``grad`` is safe:
+        # upstream layers hand over freshly computed gradient arrays
+        # and never read them again.
+        if grad.flags.writeable:
+            return np.multiply(grad, self._mask, out=grad)
+        return grad * self._mask
 
 
 class Sigmoid(Layer):
     """Logistic activation, f(x) = 1 / (1 + e^-x) (§4.3)."""
+
+    _STATE_ATTRS = ("_output",)
 
     def __init__(self) -> None:
         self._output: np.ndarray | None = None
@@ -247,6 +353,10 @@ class Sequential(Layer):
     def parameters(self) -> list[Parameter]:
         return [param for layer in self.layers for param in layer.parameters()]
 
+    def worker_copy(self) -> "Sequential":
+        """A clone for one executor task (see :meth:`Layer.worker_copy`)."""
+        return Sequential(*(layer.worker_copy() for layer in self.layers))
+
     def astype(self, dtype: np.dtype | type) -> "Sequential":
         """Cast every parameter (values and gradients) to ``dtype``."""
         for param in self.parameters():
@@ -263,13 +373,43 @@ class Sequential(Layer):
             grad = layer.backward(grad)
         return grad
 
-    def predict(self, x: np.ndarray, batch_size: int = 1024) -> np.ndarray:
-        """Forward pass in batches (no gradient bookkeeping needed)."""
-        chunks = [
-            self.forward(x[start : start + batch_size])
-            for start in range(0, x.shape[0], batch_size)
-        ]
+    def predict(
+        self,
+        x: np.ndarray,
+        batch_size: int = 1024,
+        executor: "Executor | None" = None,
+    ) -> np.ndarray:
+        """Forward pass in batches (no gradient bookkeeping needed).
+
+        Batch boundaries depend only on ``batch_size``, so mapping the
+        batches across an executor returns bit-identical results for
+        every backend; each task forwards through a :meth:`worker_copy`
+        because layers cache forward state.
+        """
+        starts = range(0, x.shape[0], batch_size)
+        if executor is None or executor.workers <= 1 or x.shape[0] <= batch_size:
+            chunks = [self.forward(x[start : start + batch_size]) for start in starts]
+        else:
+            chunks = executor.map(
+                _PredictChunk(self), [x[start : start + batch_size] for start in starts]
+            )
         return np.concatenate(chunks, axis=0) if chunks else np.empty((0,))
+
+
+class _PredictChunk:
+    """Picklable task: forward one batch through a private model clone.
+
+    Holds a state-free :meth:`Sequential.worker_copy` of the donor, so
+    pickling to process workers ships only the weights — not whatever
+    forward/scratch caches the donor accumulated during training.  Each
+    call clones again because thread workers share this one object.
+    """
+
+    def __init__(self, model: Sequential) -> None:
+        self.model = model.worker_copy()
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        return self.model.worker_copy().forward(batch)
 
 
 class MSELoss:
@@ -323,6 +463,11 @@ class Adam:
         self._step += 1
         bias1 = 1.0 - self.beta1**self._step
         bias2 = 1.0 - self.beta2**self._step
+        # Scalar folding: (m / bias1) * lr == m * (lr / bias1) and
+        # sqrt(v / bias2) == sqrt(v) / sqrt(bias2), each saving a full
+        # memory pass over every parameter — the step is memory-bound.
+        step_scale = self.learning_rate / bias1
+        inv_sqrt_bias2 = 1.0 / np.sqrt(bias2)
         for param, m, v, s, t in zip(
             self.parameters, self._m, self._v, self._scratch, self._scratch2
         ):
@@ -337,13 +482,42 @@ class Adam:
             s *= 1.0 - self.beta2
             v += s
             # param -= learning_rate * (m / bias1) / (sqrt(v / bias2) + eps)
-            np.divide(v, bias2, out=s)
-            np.sqrt(s, out=s)
+            np.sqrt(v, out=s)
+            s *= inv_sqrt_bias2
             s += self.epsilon
-            np.divide(m, bias1, out=t)
-            t *= self.learning_rate
+            np.multiply(m, step_scale, out=t)
             t /= s
             param.value -= t
+
+
+class _GradChunk:
+    """Picklable task: loss + parameter gradients for one batch shard.
+
+    The chunked im2col GEMMs run on a :meth:`Sequential.worker_copy`
+    whose gradient buffers are private, so concurrent shards never
+    write to shared memory; the parent accumulates the returned
+    gradients in shard order.
+    """
+
+    def __init__(self, model: Sequential, total_elements: int) -> None:
+        # State-free copy: pickling to process workers ships only the
+        # weights, not the donor's per-batch scratch caches.
+        self.model = model.worker_copy()
+        self.total_elements = total_elements
+
+    def __call__(
+        self, shard: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[float, list[np.ndarray]]:
+        x_shard, y_shard = shard
+        clone = self.model.worker_copy()
+        prediction = clone.forward(x_shard)
+        diff = prediction - y_shard
+        # d(mean over the FULL batch)/d(prediction), restricted to this
+        # shard — summing shard gradients in order reproduces the
+        # full-batch gradient.
+        clone.backward(2.0 * diff / self.total_elements)
+        sse = float(np.sum(diff * diff))
+        return sse, [param.grad for param in clone.parameters()]
 
 
 def fit(
@@ -356,20 +530,31 @@ def fit(
     seed: int = 0,
     verbose: bool = False,
     dtype: np.dtype | type | None = None,
+    executor: "Executor | None" = None,
+    grad_chunk_rows: int = GRAD_CHUNK_ROWS,
 ) -> list[float]:
     """Train ``model`` with MSE + Adam; returns the per-epoch losses.
 
     ``dtype`` optionally casts the model parameters and the data before
     training (``np.float32`` halves the memory traffic of every layer).
+
+    Minibatches larger than ``grad_chunk_rows`` split into fixed-size
+    shards whose forward/backward GEMMs map across ``executor``, with
+    gradients accumulated in shard order.  Shard boundaries depend only
+    on ``grad_chunk_rows`` — chunking (and thus the result) is
+    identical whether the shards then run serially or in parallel.
     """
     if x.shape[0] != y.shape[0]:
         raise ValueError("x and y must have the same number of samples")
+    if grad_chunk_rows < 1:
+        raise ValueError(f"grad_chunk_rows must be >= 1, got {grad_chunk_rows}")
     if dtype is not None:
         model.astype(dtype)
         x = np.asarray(x, dtype=dtype)
         y = np.asarray(y, dtype=dtype)
     rng = np.random.default_rng(seed)
     optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+    parameters = model.parameters()
     loss_fn = MSELoss()
     history: list[float] = []
     n = x.shape[0]
@@ -380,9 +565,27 @@ def fit(
         for start in range(0, n, batch_size):
             idx = order[start : start + batch_size]
             optimizer.zero_grad()
-            prediction = model.forward(x[idx])
-            loss = loss_fn.forward(prediction, y[idx])
-            model.backward(loss_fn.backward())
+            if len(idx) <= grad_chunk_rows:
+                prediction = model.forward(x[idx])
+                loss = loss_fn.forward(prediction, y[idx])
+                model.backward(loss_fn.backward())
+            else:
+                x_batch, y_batch = x[idx], y[idx]
+                shards = [
+                    (x_batch[lo : lo + grad_chunk_rows], y_batch[lo : lo + grad_chunk_rows])
+                    for lo in range(0, len(idx), grad_chunk_rows)
+                ]
+                task = _GradChunk(model, int(y_batch.size))
+                if executor is None:
+                    results = [task(shard) for shard in shards]
+                else:
+                    results = executor.map(task, shards)
+                loss = 0.0
+                for sse, grads in results:  # fixed order: bit-equal merge
+                    loss += sse
+                    for param, grad in zip(parameters, grads):
+                        param.grad += grad
+                loss /= y_batch.size
             optimizer.step()
             total += loss
             batches += 1

@@ -6,6 +6,14 @@ cleaning run to emit the per-phase wall-time JSON trajectory in
 ``BENCH_pipeline.json``.  Instrumentation is always on — a phase is a
 ``time.perf_counter()`` pair and a dict update, far below the noise
 floor of the phases it wraps.
+
+Counters sit alongside the timers: ``clean()`` records population
+sizes and the runtime worker count, and the §4.1 crawl merges its
+per-outcome counters (including crawl-cache hits/misses) under
+``dates.*`` — so one bench record explains both *how long* a phase
+took and *how much work* it did.  Phase timings are wall-clock and
+recorded by the parent, so they remain correct when a phase's work is
+sharded across :mod:`repro.runtime` workers.
 """
 
 from repro.perf.recorder import (

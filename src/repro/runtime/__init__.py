@@ -1,0 +1,42 @@
+"""Pluggable execution runtime for the pipeline's hot phases.
+
+The four §4 phases that dominate wall time — date crawling, vendor and
+product pair scoring, and network training/prediction — all map a pure
+function over shards of their work.  This package provides the shared
+:class:`Executor` abstraction they map through, with ``serial``,
+``thread`` and ``process`` backends selected via
+:class:`repro.core.EngineConfig`, the ``REPRO_WORKERS`` /
+``REPRO_BACKEND`` environment variables, or the ``--workers`` flag on
+``python -m repro demo`` and ``tools/bench.py``.
+
+All backends are *bit-equivalent*: shard boundaries depend only on
+fixed chunk sizes and results reduce in input order, so a parallel run
+produces exactly the bytes a serial run does (pinned by
+``tests/test_perf_equivalence.py``).
+"""
+
+from repro.runtime.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunked,
+    make_executor,
+    map_shards,
+    resolve_backend,
+    resolve_workers,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "chunked",
+    "make_executor",
+    "map_shards",
+    "resolve_backend",
+    "resolve_workers",
+]

@@ -1,0 +1,237 @@
+"""The pluggable execution runtime.
+
+An :class:`Executor` maps a function over a list of work items and
+returns the results **in input order**.  Three backends implement the
+same contract:
+
+- ``serial`` — a plain loop in the calling thread (the reference
+  semantics every other backend must reproduce);
+- ``thread`` — a :class:`concurrent.futures.ThreadPoolExecutor`; wins
+  when the work releases the GIL (numpy GEMMs, BLAS kernels) or blocks
+  on I/O (live crawls);
+- ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`;
+  wins for pure-Python CPU work (pair scoring, page parsing) at the
+  cost of pickling the work items.
+
+Determinism contract: callers shard work into chunks whose boundaries
+depend only on a fixed chunk size (never on the worker count) via
+:func:`chunked`, and reduce the mapped results in input order.  Because
+each chunk is computed by identical code on identical inputs and the
+reduction order is fixed, ``thread`` and ``process`` runs are
+*bit-equivalent* to ``serial`` runs — the property
+``tests/test_perf_equivalence.py`` pins.
+
+Backend and worker count resolve from (in priority order) explicit
+arguments, the ``REPRO_WORKERS`` / ``REPRO_BACKEND`` environment
+variables, and the serial single-worker default.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "chunked",
+    "make_executor",
+    "map_shards",
+    "resolve_backend",
+    "resolve_workers",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """The effective worker count.
+
+    Explicit ``workers`` wins; otherwise ``REPRO_WORKERS``; otherwise 1.
+    Values must be positive integers — a typo fails loudly, mirroring
+    ``repro.experiments.scale()``.
+    """
+    raw: int | str | None = workers
+    if raw is None:
+        raw = os.environ.get("REPRO_WORKERS")
+    if raw is None:
+        return 1
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(f"worker count must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"worker count must be >= 1, got {value}")
+    return value
+
+
+def resolve_backend(backend: str | None = None, workers: int = 1) -> str:
+    """The effective backend name.
+
+    Explicit ``backend`` wins; otherwise ``REPRO_BACKEND``; otherwise
+    ``serial`` for one worker and ``thread`` for several (numpy releases
+    the GIL in the GEMM-bound phases, and threads avoid pickling).
+    """
+    raw = backend or os.environ.get("REPRO_BACKEND")
+    if raw is None:
+        return "serial" if workers <= 1 else "thread"
+    raw = raw.strip().lower()
+    if raw not in BACKENDS:
+        raise ValueError(
+            f"unknown executor backend {raw!r}; expected one of {BACKENDS}"
+        )
+    return raw
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> list[Sequence[T]]:
+    """Split ``items`` into consecutive chunks of ``chunk_size``.
+
+    Chunk boundaries depend only on ``chunk_size`` — never on the
+    worker count — so parallel maps reduce in the same order with the
+    same partial shapes as a serial run (the bit-equivalence contract).
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
+
+
+def map_shards(
+    executor: "Executor | None",
+    fn: Callable[[Sequence[T]], R],
+    items: Sequence[T],
+    chunk_size: int,
+) -> list[R]:
+    """Map a shard-worker over fixed-size shards of ``items``.
+
+    The one place the determinism contract lives: shards come from
+    :func:`chunked` (boundaries fixed by ``chunk_size`` alone) and
+    results return in shard order, so callers that reduce them in
+    order get identical bytes from every backend.  With no executor, a
+    single-worker executor, or work that fits one shard, ``fn`` runs
+    inline on ``items`` whole — the same code path a parallel run
+    shards, just unsplit.
+    """
+    if executor is None or executor.workers <= 1 or len(items) <= chunk_size:
+        return [fn(items)]
+    return executor.map(fn, chunked(items, chunk_size))
+
+
+class Executor:
+    """Maps a function over work items, preserving input order."""
+
+    #: backend name, one of :data:`BACKENDS`.
+    backend: str = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """``[fn(item) for item in items]`` — possibly in parallel.
+
+        Results always come back in input order; single-item and
+        single-worker maps run inline in the calling thread so the
+        fast path costs nothing over a plain loop.
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for the serial backend)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """The reference backend: a plain in-thread loop."""
+
+    backend = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(1)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class _PooledExecutor(Executor):
+    """Shared lazy-pool plumbing for the thread and process backends."""
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__(workers)
+        self._pool: concurrent.futures.Executor | None = None
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Thread-pool backend — for GIL-releasing or blocking work."""
+
+    backend = "thread"
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-worker"
+        )
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Process-pool backend — for pure-Python CPU-bound work.
+
+    The mapped function and its items must be picklable (module-level
+    functions over plain data).  Worker processes are spawned lazily on
+    the first parallel map and reused until :meth:`close`.
+    """
+
+    backend = "process"
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+
+
+_BACKEND_CLASSES: dict[str, type[Executor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(
+    workers: int | None = None, backend: str | None = None
+) -> Executor:
+    """Build the configured executor.
+
+    ``workers`` / ``backend`` default through ``REPRO_WORKERS`` /
+    ``REPRO_BACKEND`` (see :func:`resolve_workers` and
+    :func:`resolve_backend`).  ``make_executor()`` with no arguments and
+    no environment overrides returns the serial reference backend.
+    """
+    count = resolve_workers(workers)
+    name = resolve_backend(backend, count)
+    return _BACKEND_CLASSES[name](count)

@@ -10,12 +10,15 @@ longer respond).  This package provides:
 - :mod:`repro.web.dateparse` — a multi-format date parser covering the
   layouts the per-domain extractors encounter;
 - :mod:`repro.web.crawler` — per-domain page date extractors and the
-  reference crawler that aggregates them per CVE.
+  reference crawler that aggregates them per CVE;
+- :mod:`repro.web.cache` — the persistent on-disk crawl cache, so
+  repeated runs replay per-URL outcomes instead of re-fetching.
 
 The live HTTP layer is replaced by a :class:`WebClient` protocol; the
 synthetic web corpus (:mod:`repro.synth.webcorpus`) implements it.
 """
 
+from repro.web.cache import CACHE_SCHEMA, CrawlCache
 from repro.web.crawler import (
     DateExtractor,
     ReferenceCrawler,
@@ -34,6 +37,8 @@ from repro.web.domains import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA",
+    "CrawlCache",
     "DateExtractor",
     "DomainInfo",
     "ReferenceCrawler",

@@ -21,6 +21,7 @@ from collections import Counter
 from collections.abc import Callable, Iterable
 from typing import Protocol
 
+from repro.web.cache import CrawlCache
 from repro.web.dateparse import parse_date_any
 from repro.web.domains import TOP_DOMAINS, domain_of
 
@@ -181,10 +182,19 @@ class ReferenceCrawler:
 
     Tracks the counters a crawl report needs: how many URLs were
     skipped as outside the top domains, dead, unfetchable, or parsed.
+
+    With a :class:`repro.web.cache.CrawlCache`, previously scraped URLs
+    replay their recorded outcome instead of re-fetching: the returned
+    date *and* the outcome counter are identical to a cold scrape, with
+    ``cache_hit`` / ``cache_miss`` tallying the cache's effect.  Domain
+    screening (uncovered / dead) stays in front of the cache — those
+    URLs are rejected without a fetch either way, so caching them would
+    only bloat the file.
     """
 
-    def __init__(self, client: WebClient) -> None:
+    def __init__(self, client: WebClient, cache: CrawlCache | None = None) -> None:
         self.client = client
+        self.cache = cache
         self.counters: Counter[str] = Counter()
 
     def scrape_url(self, url: str) -> datetime.date | None:
@@ -197,16 +207,25 @@ class ReferenceCrawler:
         if not info.alive:
             self.counters["skipped_dead_domain"] += 1
             return None
+        if self.cache is not None:
+            cached = self.cache.get(url)
+            if cached is not None:
+                outcome, date = cached
+                self.counters["cache_hit"] += 1
+                self.counters[outcome] += 1
+                return date
+            self.counters["cache_miss"] += 1
         page = self.client.fetch(url)
         if page is None:
-            self.counters["fetch_failed"] += 1
-            return None
-        extractor = _LAYOUT_EXTRACTORS[info.layout]
-        date = extractor(page)
-        if date is None:
-            self.counters["no_date_found"] += 1
+            date = None
+            outcome = "fetch_failed"
         else:
-            self.counters["date_extracted"] += 1
+            extractor = _LAYOUT_EXTRACTORS[info.layout]
+            date = extractor(page)
+            outcome = "no_date_found" if date is None else "date_extracted"
+        if self.cache is not None:
+            self.cache.put(url, outcome, date)
+        self.counters[outcome] += 1
         return date
 
     def scrape_all(self, urls: Iterable[str]) -> list[datetime.date]:

@@ -58,6 +58,24 @@ class TestDemo:
         assert "Cleaning report" in out
         assert out_path.exists()
 
+    def test_parallel_demo_with_crawl_cache(self, tmp_path, capsys):
+        cache_path = tmp_path / "crawl_cache.json"
+        argv = [
+            "demo", "--n-cves", "400", "--seed", "5", "--epochs", "2",
+            "--workers", "2", "--crawl-cache", str(cache_path),
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert "Cleaning report" in serial_out
+        assert cache_path.exists()  # cold run populated the cache
+        # Warm run: same report, crawl served from the cache.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_backend_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--backend", "gpu"])
+
 
 class TestParser:
     def test_requires_command(self):

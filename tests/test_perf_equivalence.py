@@ -4,6 +4,12 @@ Each optimized implementation (Conv1D GEMM gradients, fused Adam,
 batched sentence encoding, SVR training/prediction, single-pass
 snapshot indices) is checked against a straightforward reference
 implementation — the pre-refactor code — to within 1e-9.
+
+The execution runtime's contract is stronger: the ``thread`` and
+``process`` backends must produce **bit-identical** results to the
+``serial`` path for every sharded phase (date estimation, pair
+scoring, model training and prediction), which the
+``TestBackendEquivalence`` suite pins with exact comparisons.
 """
 
 from __future__ import annotations
@@ -13,13 +19,22 @@ import hashlib
 import numpy as np
 import pytest
 
-from repro.core.vendors import apply_vendor_mapping
+from repro.core.dates import estimate_all
+from repro.core.products import product_candidate_pairs
+from repro.core.severity import EngineConfig, SeverityPredictionEngine
+from repro.core.vendors import apply_vendor_mapping, candidate_pairs
 from repro.ml import Adam, Conv1D, HashingSentenceEncoder, SupportVectorRegressor
-from repro.ml.nn import Parameter
+from repro.ml.nn import Dense, ReLU, Sequential, Sigmoid, Parameter, fit
 from repro.nvd import NvdSnapshot
+from repro.runtime import ProcessExecutor, SerialExecutor, ThreadExecutor
 from repro.text import preprocess
 
 TOL = 1e-9
+
+#: one executor per backend; two workers exercise real parallelism.
+BACKEND_EXECUTORS = pytest.mark.parametrize(
+    "executor_cls", [SerialExecutor, ThreadExecutor, ProcessExecutor]
+)
 
 
 # -- reference implementations (pre-refactor) --------------------------------
@@ -335,3 +350,91 @@ class TestSnapshotIndexEquivalence:
         remapped = snapshot.map_entries(lambda e: e, names_only=True)
         assert remapped._base is snapshot._base
         assert remapped.stats() == snapshot.stats()
+
+
+# -- execution-runtime backends ----------------------------------------------
+
+
+class TestBackendEquivalence:
+    """thread/process executors must be *bit-identical* to serial."""
+
+    @BACKEND_EXECUTORS
+    def test_estimate_all(self, bundle, executor_cls):
+        serial = estimate_all(bundle.snapshot, bundle.web)
+        with executor_cls(2) as executor:
+            parallel = estimate_all(bundle.snapshot, bundle.web, executor=executor)
+        assert parallel == serial
+
+    @BACKEND_EXECUTORS
+    def test_vendor_candidate_pairs(self, snapshot, executor_cls):
+        vendors = snapshot.vendors()
+        vendor_products = snapshot.vendor_products()
+        serial = candidate_pairs(vendors, vendor_products)
+        with executor_cls(2) as executor:
+            parallel = candidate_pairs(vendors, vendor_products, executor=executor)
+        assert parallel == serial
+
+    @BACKEND_EXECUTORS
+    def test_product_candidate_pairs(self, snapshot, executor_cls):
+        products_by_vendor = snapshot.vendor_products()
+        serial = product_candidate_pairs(products_by_vendor)
+        with executor_cls(2) as executor:
+            parallel = product_candidate_pairs(
+                products_by_vendor, executor=executor
+            )
+        assert parallel == serial
+
+    @BACKEND_EXECUTORS
+    def test_severity_engine_fit_and_predict(self, snapshot, executor_cls):
+        entries = [e for e in snapshot if e.cvss_v2 is not None]
+        config = EngineConfig(epochs=2, models=("lr", "cnn", "dnn"))
+        serial = SeverityPredictionEngine(config, executor=SerialExecutor()).fit(
+            entries
+        )
+        with executor_cls(2) as executor:
+            parallel = SeverityPredictionEngine(config, executor=executor).fit(
+                entries
+            )
+            for model in config.models:
+                assert np.array_equal(
+                    parallel.predict_scores(entries, model=model),
+                    serial.predict_scores(entries, model=model),
+                ), model
+
+    @BACKEND_EXECUTORS
+    def test_sequential_predict(self, executor_cls):
+        rng = np.random.default_rng(11)
+        model = Sequential(Dense(6, 16, rng), ReLU(), Dense(16, 1, rng), Sigmoid())
+        x = rng.standard_normal((300, 6))
+        serial = model.predict(x, batch_size=64)
+        with executor_cls(2) as executor:
+            parallel = model.predict(x, batch_size=64, executor=executor)
+        assert np.array_equal(parallel, serial)
+
+    @BACKEND_EXECUTORS
+    def test_chunked_gradient_fit(self, executor_cls):
+        """Minibatches above grad_chunk_rows shard bit-identically."""
+
+        def train(executor):
+            rng = np.random.default_rng(12)
+            model = Sequential(Dense(5, 8, rng), ReLU(), Dense(8, 1, rng))
+            x = np.random.default_rng(13).standard_normal((96, 5))
+            y = x.sum(axis=1, keepdims=True)
+            history = fit(
+                model,
+                x,
+                y,
+                epochs=3,
+                batch_size=32,
+                seed=1,
+                executor=executor,
+                grad_chunk_rows=8,
+            )
+            return history, [p.value.copy() for p in model.parameters()]
+
+        serial_history, serial_params = train(None)
+        with executor_cls(2) as executor:
+            parallel_history, parallel_params = train(executor)
+        assert parallel_history == serial_history
+        for got, want in zip(parallel_params, serial_params):
+            assert np.array_equal(got, want)

@@ -1,0 +1,157 @@
+"""The pluggable execution runtime (`repro.runtime`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    BACKENDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunked,
+    make_executor,
+    map_shards,
+    resolve_backend,
+    resolve_workers,
+)
+
+
+def _square(value: int) -> int:  # module-level: picklable for process maps
+    return value * value
+
+
+def _shard_sums(shard) -> list[int]:  # shard worker for map_shards tests
+    return [sum(shard)]
+
+
+class TestResolveWorkers:
+    def test_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    @pytest.mark.parametrize("raw", ["zero", "1.5", ""])
+    def test_non_integer_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.raises(ValueError, match="integer"):
+            resolve_workers()
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(0)
+
+
+class TestResolveBackend:
+    def test_default_serial_for_one_worker(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(workers=1) == "serial"
+
+    def test_default_thread_for_many_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(workers=4) == "thread"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert resolve_backend(workers=1) == "process"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert resolve_backend("serial", workers=4) == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            resolve_backend("gpu")
+
+
+class TestChunked:
+    def test_boundaries_are_fixed(self):
+        assert chunked(list(range(7)), 3) == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_exact_division(self):
+        assert chunked("abcdef", 2) == ["ab", "cd", "ef"]
+
+    def test_empty(self):
+        assert chunked([], 4) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            chunked([1], 0)
+
+
+class TestBackendsMap:
+    ITEMS = list(range(23))
+
+    @pytest.mark.parametrize(
+        "executor_cls", [SerialExecutor, ThreadExecutor, ProcessExecutor]
+    )
+    def test_map_preserves_order(self, executor_cls):
+        with executor_cls(2) as executor:
+            assert executor.map(_square, self.ITEMS) == [
+                _square(i) for i in self.ITEMS
+            ]
+
+    def test_serial_is_always_single_worker(self):
+        assert SerialExecutor(8).workers == 1
+
+    def test_thread_single_item_runs_inline(self):
+        executor = ThreadExecutor(4)
+        assert executor.map(_square, [5]) == [25]
+        assert executor._pool is None  # inline fast path: no pool spawned
+        executor.close()
+
+    def test_pool_survives_close_and_reuse(self):
+        executor = ThreadExecutor(2)
+        assert executor.map(_square, self.ITEMS) == [i * i for i in self.ITEMS]
+        executor.close()
+        assert executor.map(_square, self.ITEMS) == [i * i for i in self.ITEMS]
+        executor.close()
+
+
+class TestMapShards:
+    ITEMS = list(range(10))
+
+    def test_inline_when_no_executor(self):
+        # One call over the whole list — same worker code, unsplit.
+        assert map_shards(None, _shard_sums, self.ITEMS, 3) == [[45]]
+
+    def test_inline_when_single_worker(self):
+        assert map_shards(SerialExecutor(), _shard_sums, self.ITEMS, 3) == [[45]]
+
+    def test_inline_when_one_shard_suffices(self):
+        with ThreadExecutor(2) as executor:
+            assert map_shards(executor, _shard_sums, self.ITEMS, 10) == [[45]]
+
+    @pytest.mark.parametrize("executor_cls", [ThreadExecutor, ProcessExecutor])
+    def test_shards_in_order(self, executor_cls):
+        with executor_cls(2) as executor:
+            assert map_shards(executor, _shard_sums, self.ITEMS, 3) == [
+                [3], [12], [21], [9],
+            ]
+
+
+class TestMakeExecutor:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        executor = make_executor()
+        assert executor.backend == "serial"
+        assert executor.workers == 1
+
+    def test_workers_env_selects_threads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        executor = make_executor()
+        assert executor.backend == "thread"
+        assert executor.workers == 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_explicit_backend(self, backend):
+        assert make_executor(2, backend).backend == backend

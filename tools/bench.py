@@ -13,6 +13,8 @@ Usage::
     PYTHONPATH=src python tools/bench.py                  # default scale
     PYTHONPATH=src python tools/bench.py --scales 0.075 0.25 1.0
     PYTHONPATH=src python tools/bench.py --label current --epochs 40
+    PYTHONPATH=src python tools/bench.py --scales 0.25 --workers 2 \
+        --crawl-cache .crawl_cache.json                   # parallel + warm crawl
     PYTHONPATH=src python tools/bench.py --check-schema BENCH_pipeline.json
 """
 
@@ -76,7 +78,15 @@ def load(path: pathlib.Path) -> dict:
     return {"schema": SCHEMA, "runs": []}
 
 
-def bench_one(scale: float, epochs: int, seed: int, label: str) -> dict:
+def bench_one(
+    scale: float,
+    epochs: int,
+    seed: int,
+    label: str,
+    workers: int | None = None,
+    backend: str | None = None,
+    crawl_cache: str | None = None,
+) -> dict:
     """Run generate + clean at one scale and return the run record."""
     from repro import perf
     from repro.core import (
@@ -86,12 +96,17 @@ def bench_one(scale: float, epochs: int, seed: int, label: str) -> dict:
         product_oracle_from_truth,
     )
     from repro.experiments import PAPER_SCALE_CVES
+    from repro.runtime import make_executor
     from repro.synth import GeneratorConfig, generate
 
     n_cves = max(2000, int(PAPER_SCALE_CVES * scale))
+    executor = make_executor(workers, backend)
     recorder = perf.get_recorder()
     recorder.reset()
-    print(f"[bench] scale={scale} n_cves={n_cves} epochs={epochs} ...")
+    print(
+        f"[bench] scale={scale} n_cves={n_cves} epochs={epochs} "
+        f"workers={executor.workers} backend={executor.backend} ..."
+    )
     t_generate = time.perf_counter()
     bundle = generate(GeneratorConfig(n_cves=n_cves, seed=seed))
     generate_s = time.perf_counter() - t_generate
@@ -103,8 +118,11 @@ def bench_one(scale: float, epochs: int, seed: int, label: str) -> dict:
         from_ground_truth(bundle.truth.vendor_map),
         product_oracle_from_truth(bundle.truth.product_map),
         engine_config=EngineConfig(epochs=epochs),
+        executor=executor,
+        crawl_cache=crawl_cache,
     )
     wall_s = time.perf_counter() - t_clean
+    executor.close()
 
     phases = {name: round(seconds, 3) for name, seconds in recorder.phase_seconds().items()}
     phases["generate"] = round(generate_s, 3)
@@ -113,6 +131,8 @@ def bench_one(scale: float, epochs: int, seed: int, label: str) -> dict:
         "scale": scale,
         "n_cves": n_cves,
         "epochs": epochs,
+        "workers": executor.workers,
+        "backend": executor.backend,
         "wall_s": round(wall_s, 3),
         "peak_rss_mb": perf.peak_rss_mb(),
         "phases": phases,
@@ -150,6 +170,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2018)
     parser.add_argument("--label", default="current")
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="execution-runtime workers (default: REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="executor backend (default: REPRO_BACKEND, or thread when N > 1)",
+    )
+    parser.add_argument(
+        "--crawl-cache", default=None, metavar="PATH",
+        help="persistent crawl cache JSON shared across runs "
+        "(default: REPRO_CRAWL_CACHE or no cache)",
+    )
+    parser.add_argument(
         "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
         help="trajectory JSON to append to (default: BENCH_pipeline.json)",
     )
@@ -185,7 +218,15 @@ def main(argv: list[str] | None = None) -> int:
     document["schema"] = SCHEMA
 
     for scale in args.scales:
-        run = bench_one(scale, args.epochs, args.seed, args.label)
+        run = bench_one(
+            scale,
+            args.epochs,
+            args.seed,
+            args.label,
+            workers=args.workers,
+            backend=args.backend,
+            crawl_cache=args.crawl_cache,
+        )
         earlier = [
             r
             for r in document["runs"]

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Documentation checks for CI.
+
+Verifies that every relative markdown link in README.md and docs/*.md
+points at a file or directory that exists in the repository.  External
+(http/https/mailto) links are not fetched — CI must stay hermetic.
+
+Usage::
+
+    python tools/check_docs.py            # check README.md + docs/*.md
+    python tools/check_docs.py FILE...    # check specific files
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: inline markdown links: [text](target); images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Broken-link descriptions for one markdown file (empty = clean)."""
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(f"{path.relative_to(REPO_ROOT)}:{line}: broken link {target!r}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [pathlib.Path(arg).resolve() for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md"]
+        files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    missing = [f for f in files if not f.exists()]
+    for path in missing:
+        print(f"[docs] missing file: {path}")
+    errors: list[str] = []
+    for path in files:
+        if path.exists():
+            errors.extend(check_file(path))
+    for error in errors:
+        print(f"[docs] {error}")
+    checked = len(files) - len(missing)
+    if errors or missing:
+        print(f"[docs] FAILED: {len(errors)} broken links, {len(missing)} missing files")
+        return 1
+    print(f"[docs] ok: {checked} files, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,7 @@
 """Assemble EXPERIMENTS.md from the rendered benchmark outputs.
 
-Run the benchmark suite first (``pytest benchmarks/ --benchmark-only``),
+Run the benchmark suite first (``PYTHONPATH=src pytest benchmarks/``,
+which writes the rendered tables/figures to ``benchmarks/out/``),
 then:  python tools/make_experiments_md.py
 """
 
@@ -44,8 +45,9 @@ HEADER = """\
 # EXPERIMENTS — paper vs measured
 
 Every table and figure in the paper's evaluation, regenerated on the
-synthetic NVD (see DESIGN.md §2 for the substitution rationale) by the
-benchmark suite (`pytest benchmarks/ --benchmark-only`).
+synthetic NVD (a seeded generator with known ground truth standing in
+for the authors' 2018 crawl) by the benchmark suite
+(`PYTHONPATH=src pytest benchmarks/`).
 
 Absolute counts differ from the paper — the substrate is a seeded,
 scaled synthetic snapshot, not the authors' 2018 crawl — so each
