@@ -1,0 +1,39 @@
+"""Persisted cleaning artifacts: the batch→serving bridge.
+
+``repro.core.clean`` is a batch pipeline; this package makes its
+output durable and incrementally updatable:
+
+- :mod:`repro.artifacts.store` — the versioned on-disk store
+  (`export_run` / `load_artifacts`, atomic ``CURRENT`` pointer,
+  schema-checked manifest with per-file hashes);
+- :mod:`repro.artifacts.ingest` — `ingest_delta`, which cleans only
+  new/changed CVEs with the persisted models and maps, then exports a
+  new version for a running server to hot-swap onto.
+
+The serving front end lives in :mod:`repro.service`.
+"""
+
+from repro.artifacts.ingest import IngestResult, ingest_delta
+from repro.artifacts.store import (
+    ARTIFACT_SCHEMA,
+    ArtifactError,
+    LoadedArtifacts,
+    config_fingerprint,
+    export_run,
+    list_versions,
+    load_artifacts,
+    read_current,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactError",
+    "IngestResult",
+    "LoadedArtifacts",
+    "config_fingerprint",
+    "export_run",
+    "ingest_delta",
+    "list_versions",
+    "load_artifacts",
+    "read_current",
+]

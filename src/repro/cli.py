@@ -1,22 +1,32 @@
 """Command-line interface.
 
-Four subcommands::
+Batch subcommands::
 
     python -m repro generate  --n-cves 5000 --out snapshot.json.gz
-    python -m repro stats     snapshot.json.gz
+    python -m repro stats     snapshot.json.gz [--json]
     python -m repro fix-cwe   snapshot.json.gz --out fixed.json.gz
-    python -m repro demo      --n-cves 3000
+    python -m repro demo      --n-cves 3000 [--artifacts DIR]
+
+Serving subcommands (see ``docs/architecture.md``)::
+
+    python -m repro serve     --artifacts DIR [--host H] [--port P]
+    python -m repro ingest    delta.json.gz --artifacts DIR
 
 ``fix-cwe`` works on any NVD JSON feed — including a real one: it
 applies the §4.4 ``CWE-[0-9]*`` recovery and rewrites the feed.
 ``demo`` runs the whole pipeline against a synthetic snapshot (the
 other fixers need the web corpus / analyst oracles the synthetic
-bundle provides) and prints the cleaning report.
+bundle provides), prints the cleaning report, and with ``--artifacts``
+exports the run into a versioned artifact store.  ``serve`` cold-starts
+the query API from such a store without retraining; ``ingest`` cleans
+a delta feed with the persisted models and flips the store's version
+pointer, which a running server hot-swaps onto.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -45,6 +55,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     snapshot = NvdSnapshot(load_feed(args.feed))
     stats = snapshot.stats()
+    if args.json:
+        # Exactly the shape the service's /v1/stats endpoint returns.
+        print(json.dumps(stats.as_dict(), indent=2))
+        return 0
     rows = [
         ["CVEs", stats.n_cves],
         ["vendors", stats.n_vendors],
@@ -106,6 +120,46 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     if args.out:
         save_feed(rectified.snapshot.entries, args.out)
         print(f"wrote rectified feed to {args.out}")
+    if args.artifacts:
+        version = rectified.export_artifacts(args.artifacts)
+        print(f"exported artifact version {version} to {args.artifacts}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        args.artifacts,
+        host=args.host,
+        port=args.port,
+        version=args.version,
+        reload_interval=args.reload_interval,
+    )
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.artifacts import ingest_delta
+
+    entries = load_feed(args.feed)
+    result = ingest_delta(
+        args.artifacts, entries, crawl_cache=args.crawl_cache
+    )
+    rows = [
+        ["delta CVEs", result.n_delta],
+        ["... new", result.n_new],
+        ["... updated", result.n_updated],
+        ["v3 scores predicted (no retrain)", result.n_predicted],
+        ["CWE labels recovered", result.n_cwe_fixed],
+        ["dates improved (cached scrapes)", result.n_date_improved],
+        ["snapshot size now", result.n_total],
+        ["prediction model", result.model_used.upper()],
+    ]
+    print(render_table(["Incremental ingest", "Value"], rows))
+    print(
+        f"exported artifact version {result.version} "
+        f"(parent {result.parent}) to {args.artifacts}"
+    )
     return 0
 
 
@@ -124,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmd = commands.add_parser("stats", help="summarise a feed file")
     cmd.add_argument("feed")
+    cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable shape served by /v1/stats",
+    )
     cmd.set_defaults(func=_cmd_stats)
 
     cmd = commands.add_parser(
@@ -152,7 +210,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent crawl cache JSON; repeated runs skip re-fetching "
         "reference URLs (default: REPRO_CRAWL_CACHE or no cache)",
     )
+    cmd.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="export the cleaned run into a versioned artifact store "
+        "(what `repro serve` cold-starts from)",
+    )
     cmd.set_defaults(func=_cmd_demo)
+
+    cmd = commands.add_parser(
+        "serve",
+        help="serve the query API from persisted artifacts (no retraining)",
+    )
+    cmd.add_argument("--artifacts", required=True, metavar="DIR")
+    cmd.add_argument("--host", default="127.0.0.1")
+    cmd.add_argument("--port", type=int, default=8080)
+    cmd.add_argument(
+        "--version", default=None, metavar="vNNNN",
+        help="pin one artifact version (default: follow the CURRENT "
+        "pointer and hot-swap when ingest moves it)",
+    )
+    cmd.add_argument(
+        "--reload-interval", type=float, default=1.0, metavar="SECONDS",
+        help="how often to poll the CURRENT pointer for hot swaps "
+        "(0 checks on every request; --version disables polling)",
+    )
+    cmd.set_defaults(func=_cmd_serve)
+
+    cmd = commands.add_parser(
+        "ingest",
+        help="clean a delta feed with persisted models and roll a new "
+        "artifact version",
+    )
+    cmd.add_argument("feed", help="NVD JSON feed of new/changed CVEs")
+    cmd.add_argument("--artifacts", required=True, metavar="DIR")
+    cmd.add_argument(
+        "--crawl-cache", default=None, metavar="PATH",
+        help="replay §4.1 scrape outcomes from this cache (default: "
+        "REPRO_CRAWL_CACHE; uncached URLs fall back to the NVD date)",
+    )
+    cmd.set_defaults(func=_cmd_ingest)
     return parser
 
 

@@ -71,6 +71,30 @@ class RectifiedNvd:
     cwe_fixes: CweFixResult
     report: CleaningReport
 
+    def export_artifacts(self, root: str | os.PathLike[str]) -> str:
+        """Persist this run into a versioned artifact store at ``root``.
+
+        Returns the new version name.  The exported directory is what
+        ``python -m repro serve`` cold-starts from and ``python -m
+        repro ingest`` updates incrementally — see
+        :mod:`repro.artifacts`.  (Imported lazily: the batch pipeline
+        does not depend on the serving layer.)
+        """
+        from repro.artifacts import export_run
+
+        return export_run(
+            root,
+            snapshot=self.snapshot,
+            engine=self.engine,
+            model_used=self.report.model_used,
+            vendor_map=self.vendor_analysis.mapping,
+            product_map=self.product_analysis.mapping,
+            estimates=self.estimates,
+            pv3_scores=self.pv3_scores,
+            pv3_severity=self.pv3_severity,
+            report=self.report,
+        )
+
 
 def clean(
     snapshot: NvdSnapshot,
@@ -103,13 +127,7 @@ def clean(
     owns_executor = executor is None
     if executor is None:
         executor = make_executor(config.workers, config.backend)
-    if crawl_cache is None:
-        cache_path = os.environ.get("REPRO_CRAWL_CACHE")
-        cache = CrawlCache(cache_path) if cache_path else None
-    elif isinstance(crawl_cache, CrawlCache):
-        cache = crawl_cache
-    else:
-        cache = CrawlCache(crawl_cache)
+    cache = CrawlCache.resolve(crawl_cache)
 
     recorder = perf.get_recorder()
     recorder.add_counter("clean.n_cves", len(snapshot))

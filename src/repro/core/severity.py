@@ -48,10 +48,15 @@ from repro.runtime import Executor, make_executor
 __all__ = [
     "EngineConfig",
     "ModelScores",
+    "SUPPORTED_MODELS",
     "SeverityPredictionEngine",
     "transition_table",
     "v2_features",
 ]
+
+#: the §4.3 model line-up — the single allowlist shared by training,
+#: restore-from-artifacts, and the artifact store's loader table.
+SUPPORTED_MODELS = ("lr", "svr", "cnn", "dnn")
 
 #: CWE families whose exploitation yields user/other privileges (used
 #: for the privilege-flag features, mirroring NVD's baseMetricV2
@@ -254,6 +259,33 @@ class SeverityPredictionEngine:
         self._y: np.ndarray | None = None
         self._entries: list[CveEntry] = []
 
+    @classmethod
+    def from_models(
+        cls,
+        config: EngineConfig,
+        models: dict[str, object],
+        executor: Executor | None = None,
+    ) -> "SeverityPredictionEngine":
+        """An engine restored from persisted models — no training data.
+
+        The serving layer cold-starts through this: prediction works
+        immediately with the restored weights, while the evaluation
+        surface (:meth:`evaluate`, :meth:`best_model`,
+        :meth:`test_entries`) needs the training split and keeps
+        raising until :meth:`fit` runs.
+        """
+        unknown = [name for name in models if name not in SUPPORTED_MODELS]
+        if unknown:
+            raise ValueError(f"unknown model {unknown[0]!r}")
+        engine = cls(config, executor=executor)
+        engine._models = dict(models)
+        return engine
+
+    @property
+    def models(self) -> dict[str, object]:
+        """The trained models by name (a copy; used for persistence)."""
+        return dict(self._models)
+
     @property
     def executor(self) -> Executor:
         """The engine's executor (built lazily from the config)."""
@@ -289,7 +321,7 @@ class SeverityPredictionEngine:
             raise ValueError(
                 f"need at least 10 dual-scored CVEs to train, got {len(usable)}"
             )
-        unknown = [n for n in self.config.models if n not in ("lr", "svr", "cnn", "dnn")]
+        unknown = [n for n in self.config.models if n not in SUPPORTED_MODELS]
         if unknown:
             raise ValueError(f"unknown model {unknown[0]!r}")
         self._entries = usable

@@ -8,6 +8,9 @@ description corpora.
 
 from __future__ import annotations
 
+import os
+import pathlib
+
 import numpy as np
 
 __all__ = ["KNeighborsClassifier"]
@@ -41,6 +44,37 @@ class KNeighborsClassifier:
             x = x / np.maximum(norms, 1e-12)
         self._x = x
         return self
+
+    def save(self, path: str | os.PathLike[str]) -> pathlib.Path:
+        """Serialise the fitted neighbour set to one ``.npz`` file.
+
+        The (already metric-normalised) training matrix, encoded labels
+        and class table are stored verbatim, so :meth:`load` restores
+        bit-identical predictions.
+        """
+        if self._x is None or self._y is None or self._classes is None:
+            raise RuntimeError("model is not fitted")
+        path = pathlib.Path(path)
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                x=self._x,
+                y=self._y,
+                classes=self._classes,
+                k=np.int64(self.k),
+                metric=self.metric,
+            )
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "KNeighborsClassifier":
+        """Restore a classifier saved by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            model = cls(k=int(data["k"]), metric=str(data["metric"][()]))
+            model._x = np.ascontiguousarray(data["x"])
+            model._y = np.ascontiguousarray(data["y"])
+            model._classes = np.ascontiguousarray(data["classes"])
+        return model
 
     def _distances(self, queries: np.ndarray) -> np.ndarray:
         assert self._x is not None

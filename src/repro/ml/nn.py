@@ -32,6 +32,9 @@ not reentrant.
 from __future__ import annotations
 
 import copy
+import json
+import os
+import pathlib
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -90,6 +93,15 @@ class Layer:
     def parameters(self) -> list[Parameter]:
         return []
 
+    def spec(self) -> dict[str, object]:
+        """JSON-serialisable constructor description.
+
+        :meth:`Sequential.save` persists one spec per layer so
+        :meth:`Sequential.load` can rebuild the architecture before
+        restoring the weights.  Stateless layers need only their type.
+        """
+        return {"type": type(self).__name__}
+
     def worker_copy(self) -> "Layer":
         """A clone for one executor task: shared weights, fresh state.
 
@@ -144,6 +156,14 @@ class Dense(Layer):
 
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
+
+    def spec(self) -> dict[str, object]:
+        in_features, out_features = self.weight.value.shape
+        return {
+            "type": "Dense",
+            "in_features": int(in_features),
+            "out_features": int(out_features),
+        }
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._input = x
@@ -210,6 +230,14 @@ class Conv1D(Layer):
 
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
+
+    def spec(self) -> dict[str, object]:
+        return {
+            "type": "Conv1D",
+            "in_channels": int(self._in_channels),
+            "out_channels": int(self.bias.value.shape[0]),
+            "kernel_size": int(self.kernel_size),
+        }
 
     def _scratch(self, name: str, shape: tuple[int, ...], dtype: np.dtype, zero: bool = False) -> np.ndarray:
         buffer = getattr(self, name)
@@ -372,6 +400,75 @@ class Sequential(Layer):
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | os.PathLike[str]) -> pathlib.Path:
+        """Serialise the architecture and weights to one ``.npz`` file.
+
+        The file stores a JSON layer-spec list plus every parameter
+        array verbatim, so :meth:`load` rebuilds a model whose forward
+        pass is **bit-identical** to this one — numpy's npz container
+        round-trips array bytes exactly.  Optimizer state is not
+        persisted; a loaded model predicts, or trains from step 0.
+        """
+        path = pathlib.Path(path)
+        arch = json.dumps([layer.spec() for layer in self.layers])
+        arrays = {
+            f"param_{i}": param.value for i, param in enumerate(self.parameters())
+        }
+        with open(path, "wb") as handle:
+            np.savez(handle, arch=arch, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "Sequential":
+        """Rebuild a model saved by :meth:`save`.
+
+        Raises :class:`ValueError` for unknown layer types or a
+        parameter count that does not match the stored architecture
+        (a truncated or foreign file).
+        """
+        with np.load(path, allow_pickle=False) as data:
+            specs = json.loads(str(data["arch"][()]))
+            rng = np.random.default_rng(0)  # placeholder init, overwritten below
+            layers: list[Layer] = []
+            for spec in specs:
+                kind = spec.get("type")
+                if kind == "Dense":
+                    layers.append(
+                        Dense(int(spec["in_features"]), int(spec["out_features"]), rng)
+                    )
+                elif kind == "Conv1D":
+                    layers.append(
+                        Conv1D(
+                            int(spec["in_channels"]),
+                            int(spec["out_channels"]),
+                            int(spec["kernel_size"]),
+                            rng,
+                        )
+                    )
+                elif kind == "Flatten":
+                    layers.append(Flatten())
+                elif kind == "ReLU":
+                    layers.append(ReLU())
+                elif kind == "Sigmoid":
+                    layers.append(Sigmoid())
+                else:
+                    raise ValueError(f"unknown layer type {kind!r} in {path}")
+            model = cls(*layers)
+            parameters = model.parameters()
+            stored = sum(1 for name in data.files if name.startswith("param_"))
+            if stored != len(parameters):
+                raise ValueError(
+                    f"{path} stores {stored} parameters but the architecture "
+                    f"declares {len(parameters)}"
+                )
+            for i, param in enumerate(parameters):
+                value = np.ascontiguousarray(data[f"param_{i}"])
+                param.value = value
+                param.grad = np.zeros_like(value)
+        return model
 
     def predict(
         self,

@@ -8,6 +8,9 @@ vector to a three-dimension space."
 
 from __future__ import annotations
 
+import os
+import pathlib
+
 import numpy as np
 
 __all__ = ["PCA"]
@@ -47,6 +50,40 @@ class PCA:
             self.explained_variance / total if total > 0 else np.zeros(self.n_components)
         )
         return self
+
+    def save(self, path: str | os.PathLike[str]) -> pathlib.Path:
+        """Serialise the fitted projection to one ``.npz`` file.
+
+        :meth:`load` restores bit-identical transforms.
+        """
+        if self.components is None or self.mean is None:
+            raise RuntimeError("PCA is not fitted")
+        path = pathlib.Path(path)
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                mean=self.mean,
+                components=self.components,
+                explained_variance=self.explained_variance,
+                explained_variance_ratio=self.explained_variance_ratio,
+                n_components=np.int64(self.n_components),
+            )
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "PCA":
+        """Restore a projection saved by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            model = cls(n_components=int(data["n_components"]))
+            model.mean = np.ascontiguousarray(data["mean"])
+            model.components = np.ascontiguousarray(data["components"])
+            model.explained_variance = np.ascontiguousarray(
+                data["explained_variance"]
+            )
+            model.explained_variance_ratio = np.ascontiguousarray(
+                data["explained_variance_ratio"]
+            )
+        return model
 
     def transform(self, x: np.ndarray) -> np.ndarray:
         if self.components is None or self.mean is None:

@@ -17,6 +17,9 @@ numpy scalar boxing overhead.
 
 from __future__ import annotations
 
+import os
+import pathlib
+
 import numpy as np
 
 __all__ = ["SupportVectorRegressor"]
@@ -110,6 +113,54 @@ class SupportVectorRegressor:
             else None
         )
         return self
+
+    def save(self, path: str | os.PathLike[str]) -> pathlib.Path:
+        """Serialise the fitted machine to one ``.npz`` file.
+
+        Support vectors, dual coefficients and the intercept are stored
+        verbatim, so :meth:`load` restores **bit-identical**
+        predictions (the cached squared norms are recomputed with the
+        same expression :meth:`fit` uses, on the same bytes).
+        """
+        if self.support_vectors is None or self.alphas is None:
+            raise RuntimeError("model is not fitted")
+        path = pathlib.Path(path)
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                support_vectors=self.support_vectors,
+                alphas=self.alphas,
+                intercept=np.float64(self.intercept),
+                hyper=np.array([self.c, self.gamma, self.epsilon], dtype=np.float64),
+                meta=np.array(
+                    [self.epochs, self.max_support, self.seed], dtype=np.int64
+                ),
+            )
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "SupportVectorRegressor":
+        """Restore a machine saved by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            hyper = data["hyper"]
+            meta = data["meta"]
+            model = cls(
+                c=float(hyper[0]),
+                gamma=float(hyper[1]),
+                epsilon=float(hyper[2]),
+                epochs=int(meta[0]),
+                max_support=int(meta[1]),
+                seed=int(meta[2]),
+            )
+            model.support_vectors = np.ascontiguousarray(data["support_vectors"])
+            model.alphas = np.ascontiguousarray(data["alphas"])
+            model.intercept = float(data["intercept"])
+        model._support_sq = (
+            np.sum(model.support_vectors**2, axis=1)
+            if model.support_vectors.size
+            else None
+        )
+        return model
 
     def predict(self, x: np.ndarray, chunk_size: int = 4096) -> np.ndarray:
         if self.support_vectors is None or self.alphas is None:

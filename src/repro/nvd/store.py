@@ -39,6 +39,20 @@ class SnapshotStats:
     n_references: int
     year_range: tuple[int, int]
 
+    def as_dict(self) -> dict[str, object]:
+        """The machine-readable shape shared by ``python -m repro stats
+        --json`` and the query service's ``/v1/stats`` endpoint."""
+        return {
+            "n_cves": self.n_cves,
+            "n_vendors": self.n_vendors,
+            "n_products": self.n_products,
+            "n_cwe_types": self.n_cwe_types,
+            "n_with_v3": self.n_with_v3,
+            "n_with_v2": self.n_with_v2,
+            "n_references": self.n_references,
+            "year_range": [self.year_range[0], self.year_range[1]],
+        }
+
 
 @dataclasses.dataclass
 class _BaseIndices:
@@ -272,6 +286,19 @@ class NvdSnapshot:
     def filter(self, predicate: Callable[[CveEntry], bool]) -> "NvdSnapshot":
         """A new snapshot with the entries satisfying ``predicate``."""
         return NvdSnapshot(entry for entry in self.entries if predicate(entry))
+
+    def merge(self, entries: Iterable[CveEntry]) -> "NvdSnapshot":
+        """A new snapshot with ``entries`` upserted by CVE id.
+
+        Existing ids are replaced in place (snapshot order preserved);
+        new ids append in input order.  The incremental-ingest path
+        builds every new artifact version through this, so a delta feed
+        updates answers without re-cleaning the whole population.
+        """
+        merged = dict(self._entries)
+        for entry in entries:
+            merged[entry.cve_id] = entry
+        return NvdSnapshot._from_trusted(merged)
 
     def map_entries(
         self,

@@ -1,0 +1,20 @@
+"""The query/serving front end over persisted cleaning artifacts.
+
+A dependency-free HTTP API (stdlib ``ThreadingHTTPServer``) that
+cold-starts from a :mod:`repro.artifacts` store — no crawling, no
+training — and hot-swaps to new versions produced by the incremental
+ingest path.  See :mod:`repro.service.http` for the endpoint table and
+:mod:`repro.service.state` for the payload shapes.
+"""
+
+from repro.service.http import ApiHandler, NvdService, create_server, serve
+from repro.service.state import ServiceError, ServiceState
+
+__all__ = [
+    "ApiHandler",
+    "NvdService",
+    "ServiceError",
+    "ServiceState",
+    "create_server",
+    "serve",
+]

@@ -1,0 +1,331 @@
+"""Dependency-free HTTP front end over an artifact store.
+
+A :class:`NvdService` owns the loaded :class:`ServiceState`, an LRU
+response cache, request counters, and the hot-swap logic; the
+:class:`ApiHandler` is a thin stdlib ``ThreadingHTTPServer`` handler
+that delegates every request to :meth:`NvdService.handle`.  Keeping
+routing and serialization on the service object makes the whole API
+unit-testable without sockets.
+
+Endpoints::
+
+    GET  /healthz                         liveness + live version
+    GET  /v1/stats                        §3 snapshot statistics
+    GET  /v1/metrics                      request counters + cache stats
+    GET  /v1/cve/<id>                     one rectified CVE
+    GET  /v1/vendor/<name>                consolidated vendor view
+    GET  /v1/product/<vendor>/<product>   consolidated product view
+    POST /v1/severity/predict             §4.3 prediction for a posted body
+
+Hot swap: at most once per ``reload_interval`` seconds the service
+re-reads the store's ``CURRENT`` pointer; when it names a different
+version (after ``python -m repro ingest``), the new version loads and
+the state reference swaps atomically — in-flight requests finish on
+the old state, the response cache clears, and ``swaps`` increments in
+``/v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import collections
+import http.server
+import json
+import os
+import pathlib
+import threading
+import time
+import urllib.parse
+
+from repro.artifacts import ArtifactError, read_current
+from repro.service.state import ServiceError, ServiceState
+
+__all__ = ["ApiHandler", "NvdService", "create_server", "serve"]
+
+SERVICE_NAME = "repro-nvd-service/1"
+
+#: GET routes whose responses are cacheable (per loaded version).
+_CACHEABLE_PREFIXES = ("/v1/stats", "/v1/cve/", "/v1/vendor/", "/v1/product/")
+
+
+class ResponseCache:
+    """A small thread-safe LRU over serialized responses."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = max(0, int(maxsize))
+        self._lock = threading.Lock()
+        self._data: collections.OrderedDict[str, tuple[int, bytes]] = (
+            collections.OrderedDict()
+        )
+
+    def get(self, key: str) -> tuple[int, bytes] | None:
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key: str, value: tuple[int, bytes]) -> None:
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+class NvdService:
+    """Routing, caching, metrics and hot-swap over a ServiceState."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        version: str | None = None,
+        cache_size: int = 1024,
+        reload_interval: float = 1.0,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        #: a pinned server never hot-swaps (explicit --version).
+        self.pinned = version is not None
+        self.reload_interval = float(reload_interval)
+        self._state = ServiceState.load(self.root, version)
+        self._cache = ResponseCache(cache_size)
+        self._counters: collections.Counter[str] = collections.Counter()
+        self._counter_lock = threading.Lock()
+        self._swap_lock = threading.Lock()
+        self._last_check = time.monotonic()
+        self._started = time.time()
+        self.swaps = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] += amount
+
+    @property
+    def state(self) -> ServiceState:
+        return self._state
+
+    def maybe_reload(self) -> bool:
+        """Hot-swap to the store's ``CURRENT`` version if it moved.
+
+        Rate-limited to one pointer read per ``reload_interval``
+        (``0`` checks on every request — the tests use that; pin a
+        version to disable polling entirely); the actual reload happens
+        under a non-blocking lock so concurrent requests keep serving
+        the old state instead of piling up.  Returns True when a swap
+        happened.
+        """
+        if self.pinned:
+            return False
+        now = time.monotonic()
+        if self.reload_interval > 0 and now - self._last_check < self.reload_interval:
+            return False
+        if not self._swap_lock.acquire(blocking=False):
+            return False
+        try:
+            self._last_check = time.monotonic()
+            current = read_current(self.root)
+            if current is None or current == self._state.version:
+                return False
+            try:
+                new_state = ServiceState.load(self.root, current)
+            except ArtifactError:
+                # Mid-export or corrupt pointer target: keep serving
+                # the loaded version; the next interval retries.
+                self._bump("reload_failures")
+                return False
+            self._state = new_state
+            self._cache.clear()
+            self.swaps += 1
+            self._bump("hot_swaps")
+            return True
+        finally:
+            self._swap_lock.release()
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(self, method: str, path: str, body: bytes | None) -> tuple[int, bytes]:
+        """Route one request; returns ``(status, JSON body bytes)``."""
+        self.maybe_reload()
+        # One state snapshot per request: dispatch and the cache key use
+        # the same version, so a hot swap mid-request can at worst store
+        # an entry under the *old* version's key — never serve stale
+        # data under the new one.
+        state = self._state
+        self._bump("requests_total")
+        path = path.partition("?")[0]
+        cacheable = method == "GET" and any(
+            path == prefix or path.startswith(prefix)
+            for prefix in _CACHEABLE_PREFIXES
+        )
+        cache_key = f"{state.version}:{path}"
+        if cacheable:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._bump("cache_hits")
+                self._bump(f"responses_{cached[0] // 100}xx")
+                return cached
+            self._bump("cache_misses")
+        try:
+            status, payload = self._dispatch(state, method, path, body)
+        except ServiceError as error:
+            status, payload = error.status, {"error": error.message}
+        except Exception as error:  # never let a bug kill the worker thread
+            self._bump("errors_internal")
+            status, payload = 500, {"error": f"internal error: {error}"}
+        self._bump(f"responses_{status // 100}xx")
+        response = (status, json.dumps(payload).encode("utf-8"))
+        if cacheable and status == 200:
+            self._cache.put(cache_key, response)
+        return response
+
+    def _dispatch(
+        self, state: ServiceState, method: str, path: str, body: bytes | None
+    ) -> tuple[int, object]:
+        parts = [urllib.parse.unquote(part) for part in path.split("/") if part]
+        if method == "GET":
+            if path == "/healthz":
+                self._bump("endpoint_healthz")
+                return 200, {
+                    "status": "ok",
+                    "service": SERVICE_NAME,
+                    "version": state.version,
+                    "model": state.model_used,
+                }
+            if path == "/v1/stats":
+                self._bump("endpoint_stats")
+                return 200, state.stats_payload()
+            if path == "/v1/metrics":
+                self._bump("endpoint_metrics")
+                return 200, self.metrics_payload()
+            if len(parts) == 3 and parts[:2] == ["v1", "cve"]:
+                self._bump("endpoint_cve")
+                return 200, state.cve_payload(parts[2])
+            if len(parts) == 3 and parts[:2] == ["v1", "vendor"]:
+                self._bump("endpoint_vendor")
+                return 200, state.vendor_payload(parts[2])
+            if len(parts) == 4 and parts[:2] == ["v1", "product"]:
+                self._bump("endpoint_product")
+                return 200, state.product_payload(parts[2], parts[3])
+        elif method == "POST" and path == "/v1/severity/predict":
+            self._bump("endpoint_predict")
+            if not body:
+                raise ServiceError(400, "request body is required")
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ServiceError(400, f"bad JSON body: {error}") from None
+            return 200, state.predict_payload(parsed)
+        raise ServiceError(404, f"no route for {method} {path}")
+
+    def metrics_payload(self) -> dict:
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            "service": SERVICE_NAME,
+            "version": self._state.version,
+            "model": self._state.model_used,
+            "uptime_s": round(time.time() - self._started, 3),
+            "cache_entries": len(self._cache),
+            "swaps": self.swaps,
+            "counters": counters,
+        }
+
+
+class ApiHandler(http.server.BaseHTTPRequestHandler):
+    """Thin adapter from the socket layer to :meth:`NvdService.handle`."""
+
+    server_version = SERVICE_NAME
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # metrics replace the default stderr chatter
+
+    def _respond(self, method: str) -> None:
+        service: NvdService = self.server.service  # type: ignore[attr-defined]
+        body = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+        status, payload = service.handle(method, self.path, body)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._respond("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._respond("POST")
+
+
+class _ServiceServer(http.server.ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: NvdService) -> None:
+        super().__init__(address, ApiHandler)
+        self.service = service
+
+
+def create_server(
+    root: str | os.PathLike[str],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    version: str | None = None,
+    cache_size: int = 1024,
+    reload_interval: float = 1.0,
+) -> _ServiceServer:
+    """Cold-start a server from an artifact store (no retraining).
+
+    ``port=0`` binds an ephemeral port (see ``server.server_address``);
+    call ``serve_forever()`` to run.
+    """
+    service = NvdService(
+        root,
+        version=version,
+        cache_size=cache_size,
+        reload_interval=reload_interval,
+    )
+    return _ServiceServer((host, port), service)
+
+
+def serve(
+    root: str | os.PathLike[str],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    version: str | None = None,
+    reload_interval: float = 1.0,
+) -> int:
+    """Run the service until interrupted (the ``repro serve`` command)."""
+    server = create_server(
+        root, host, port, version=version, reload_interval=reload_interval
+    )
+    bound_host, bound_port = server.server_address[:2]
+    state = server.service.state
+    print(
+        f"[serve] {SERVICE_NAME} on http://{bound_host}:{bound_port} "
+        f"— version {state.version}, {state.stats['n_cves']} CVEs, "
+        f"model {state.model_used}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("[serve] shutting down")
+    finally:
+        server.server_close()
+    return 0

@@ -1,0 +1,223 @@
+"""One loaded artifact version, shaped for serving.
+
+:class:`ServiceState` wraps a :class:`repro.artifacts.LoadedArtifacts`
+and answers the query endpoints as plain JSON-ready dicts.  A state is
+immutable once built — hot-swapping replaces the whole object — and
+eager about its indices: the snapshot's vendor/product/year/CWE lookup
+tables and the §3 stats are materialised at load time so the first
+request is as fast as the thousandth.
+
+The only mutable corner is neural-network prediction:
+``ml.nn.Sequential`` layers cache forward state, so concurrent
+``/v1/severity/predict`` requests serialise on a lock.  (The linear
+and SVR models are stateless at predict time; the lock covers the
+common engine path uniformly because a single 13-feature forward pass
+is microseconds — far below socket overhead.)
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import threading
+
+from repro.artifacts import LoadedArtifacts, load_artifacts
+from repro.cvss import (
+    severity_v3,
+    parse_v2_vector,
+    v2_vector_string,
+    v3_vector_string,
+)
+from repro.cwe import extract_cwe_ids
+from repro.nvd import CveEntry
+from repro.runtime import SerialExecutor
+
+__all__ = ["ServiceError", "ServiceState"]
+
+#: cap on id lists in vendor/product payloads (keeps responses bounded
+#: at paper scale; ``truncated`` flags when the cap bites).
+MAX_IDS = 500
+
+
+class ServiceError(Exception):
+    """An error with an HTTP status, raised by payload builders."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServiceState:
+    """Immutable query view over one artifact version."""
+
+    def __init__(self, artifacts: LoadedArtifacts) -> None:
+        self.artifacts = artifacts
+        self.version = artifacts.version
+        self.snapshot = artifacts.snapshot
+        self.model_used = artifacts.model_used
+        self._predict_lock = threading.Lock()
+        # Eager cold-start: build the shared snapshot indices and stats
+        # now, not on the first query.
+        self.stats = self.snapshot.stats().as_dict()
+        #: canonical vendor → sorted alias names (reverse alias map).
+        self.vendor_aliases: dict[str, list[str]] = {}
+        for alias, canonical in artifacts.vendor_map.items():
+            self.vendor_aliases.setdefault(canonical, []).append(alias)
+        for aliases in self.vendor_aliases.values():
+            aliases.sort()
+
+    @classmethod
+    def load(
+        cls, root: str | os.PathLike[str], version: str | None = None
+    ) -> "ServiceState":
+        # Serving predicts one posted row at a time, so the engine gets
+        # an explicit serial executor — never the persisted *training*
+        # workers/backend config, which could otherwise fork a process
+        # pool inside the threaded server (and leak one per hot swap).
+        return cls(load_artifacts(root, version, executor=SerialExecutor()))
+
+    # -- payload builders ----------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        return dict(self.stats)
+
+    def cve_payload(self, cve_id: str) -> dict:
+        entry = self.snapshot.get(cve_id)
+        if entry is None:
+            raise ServiceError(404, f"unknown CVE id {cve_id!r}")
+        arts = self.artifacts
+        payload: dict = {
+            "cve_id": entry.cve_id,
+            "published": entry.published.isoformat(),
+            "modified": entry.modified.isoformat() if entry.modified else None,
+            "descriptions": list(entry.descriptions),
+            "cwe_ids": list(entry.cwe_ids),
+            "vendors": list(entry.vendors),
+            "products": [list(pair) for pair in entry.vendor_products()],
+            "references": [reference.url for reference in entry.references],
+            "cvss_v2": None,
+            "cvss_v3": None,
+        }
+        if entry.cvss_v2 is not None:
+            payload["cvss_v2"] = {
+                "vector": v2_vector_string(entry.cvss_v2),
+                "base_score": entry.v2_score,
+                "severity": entry.v2_severity.value,
+            }
+        if entry.cvss_v3 is not None:
+            payload["cvss_v3"] = {
+                "vector": v3_vector_string(entry.cvss_v3),
+                "base_score": entry.v3_score,
+                "severity": entry.v3_severity.value,
+            }
+        estimate = arts.estimates.get(cve_id)
+        if estimate is not None:
+            payload["estimated_disclosure"] = (
+                estimate.estimated_disclosure.isoformat()
+            )
+            payload["lag_days"] = estimate.lag_days
+        score = arts.pv3_scores.get(cve_id)
+        if score is not None:
+            payload["predicted_v3_score"] = score
+            payload["predicted_v3_severity"] = arts.pv3_severity.get(cve_id)
+            payload["v3_backported"] = not entry.has_v3
+        return payload
+
+    def vendor_payload(self, name: str) -> dict:
+        canonical = self.artifacts.vendor_map.get(name, name)
+        entries = self.snapshot.by_vendor(canonical)
+        if not entries:
+            raise ServiceError(404, f"unknown vendor {name!r}")
+        ids = [entry.cve_id for entry in entries]
+        products = sorted(
+            {
+                product
+                for entry in entries
+                for vendor, product in entry.vendor_products()
+                if vendor == canonical
+            }
+        )
+        return {
+            "vendor": canonical,
+            "queried": name,
+            "aliases": self.vendor_aliases.get(canonical, []),
+            "n_cves": len(ids),
+            "cve_ids": ids[:MAX_IDS],
+            "truncated": len(ids) > MAX_IDS,
+            "products": products,
+        }
+
+    def product_payload(self, vendor: str, product: str) -> dict:
+        canonical_vendor = self.artifacts.vendor_map.get(vendor, vendor)
+        canonical_product = self.artifacts.product_map.get(
+            (canonical_vendor, product), product
+        )
+        pair = (canonical_vendor, canonical_product)
+        entries = [
+            entry
+            for entry in self.snapshot.by_product(canonical_product)
+            if pair in entry.vendor_products()
+        ]
+        if not entries:
+            raise ServiceError(404, f"unknown product {vendor!r}/{product!r}")
+        ids = [entry.cve_id for entry in entries]
+        return {
+            "vendor": canonical_vendor,
+            "product": canonical_product,
+            "queried": [vendor, product],
+            "n_cves": len(ids),
+            "cve_ids": ids[:MAX_IDS],
+            "truncated": len(ids) > MAX_IDS,
+        }
+
+    def predict_payload(self, body: object) -> dict:
+        """§4.3 severity prediction for a posted vulnerability.
+
+        The body must carry a CVSS v2 vector (the features the
+        persisted models consume); an optional ``description`` feeds
+        the §4.4 ``CWE-[0-9]*`` regex to supply the CWE feature when
+        ``cwe_ids`` is not given explicitly.
+        """
+        if not isinstance(body, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        vector = body.get("cvss_v2")
+        if not isinstance(vector, str) or not vector:
+            raise ServiceError(400, "field 'cvss_v2' (a v2 vector string) is required")
+        try:
+            metrics = parse_v2_vector(vector)
+        except ValueError as error:
+            raise ServiceError(400, f"bad CVSS v2 vector: {error}") from None
+        description = body.get("description") or ""
+        if not isinstance(description, str):
+            raise ServiceError(400, "field 'description' must be a string")
+        cwe_ids = body.get("cwe_ids")
+        if cwe_ids is None:
+            cwe_ids = extract_cwe_ids(description) if description else []
+        if not isinstance(cwe_ids, list) or not all(
+            isinstance(label, str) for label in cwe_ids
+        ):
+            raise ServiceError(400, "field 'cwe_ids' must be a list of strings")
+        entry = CveEntry(
+            cve_id="CVE-1970-0001",  # placeholder identity; features only
+            published=datetime.date(1970, 1, 1),
+            descriptions=(description,) if description else (),
+            cwe_ids=tuple(cwe_ids),
+            cvss_v2=metrics,
+        )
+        try:
+            with self._predict_lock:
+                score = float(
+                    self.artifacts.engine.predict_scores(
+                        [entry], model=self.model_used
+                    )[0]
+                )
+        except ValueError as error:  # e.g. a malformed "CWE-xyz" label
+            raise ServiceError(400, f"cannot featurise request: {error}") from None
+        return {
+            "model": self.model_used,
+            "score": round(score, 4),
+            "severity": severity_v3(score).value,
+            "cwe_ids": list(cwe_ids),
+            "version": self.version,
+        }

@@ -59,6 +59,23 @@ class CrawlCache:
         if self.path is not None and self.path.exists():
             self._load()
 
+    @classmethod
+    def resolve(
+        cls, value: "CrawlCache | str | os.PathLike[str] | None"
+    ) -> "CrawlCache | None":
+        """The one cache-argument convention, shared by every caller.
+
+        An existing :class:`CrawlCache` passes through; a path opens
+        one; ``None`` falls back to the ``REPRO_CRAWL_CACHE``
+        environment variable (unset meaning no cache).
+        """
+        if isinstance(value, cls):
+            return value
+        if value is not None:
+            return cls(value)
+        env_path = os.environ.get("REPRO_CRAWL_CACHE")
+        return cls(env_path) if env_path else None
+
     # -- persistence ---------------------------------------------------------
 
     def _load(self) -> None:

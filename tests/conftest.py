@@ -14,6 +14,37 @@ def bundle():
 
 
 @pytest.fixture(scope="session")
+def small_rectified(bundle):
+    """One fast cleaning run shared by the artifact/service suites."""
+    from repro.core import (
+        EngineConfig,
+        clean,
+        from_ground_truth,
+        product_oracle_from_truth,
+    )
+
+    return clean(
+        bundle.snapshot,
+        bundle.web,
+        from_ground_truth(bundle.truth.vendor_map),
+        product_oracle_from_truth(bundle.truth.product_map),
+        engine_config=EngineConfig(epochs=4, models=("lr", "dnn"), seed=2),
+    )
+
+
+@pytest.fixture(scope="session")
+def artifact_root(tmp_path_factory, small_rectified):
+    """A read-only artifact store holding the shared cleaning run.
+
+    Tests that mutate a store (ingest, corruption) must copy this tree
+    into their own tmp dir first.
+    """
+    root = tmp_path_factory.mktemp("artifacts")
+    small_rectified.export_artifacts(root)
+    return root
+
+
+@pytest.fixture(scope="session")
 def snapshot(bundle):
     return bundle.snapshot
 

@@ -1,9 +1,11 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
-from repro.nvd import NvdSnapshot, load_feed
+from repro.nvd import NvdSnapshot, load_feed, save_feed
 
 
 @pytest.fixture()
@@ -31,6 +33,13 @@ class TestStats:
         assert main(["stats", str(feed_path)]) == 0
         out = capsys.readouterr().out
         assert "CVEs" in out and "300" in out
+
+    def test_json_output_matches_snapshot_stats(self, feed_path, capsys):
+        assert main(["stats", str(feed_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = NvdSnapshot(load_feed(feed_path)).stats()
+        assert payload == stats.as_dict()
+        assert payload["n_cves"] == 300
 
 
 class TestFixCwe:
@@ -75,6 +84,48 @@ class TestDemo:
     def test_backend_flag_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["demo", "--backend", "gpu"])
+
+
+class TestServingCommands:
+    @pytest.fixture()
+    def store(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        code = main(
+            [
+                "demo", "--n-cves", "400", "--seed", "5", "--epochs", "2",
+                "--artifacts", str(root),
+            ]
+        )
+        assert code == 0
+        assert "exported artifact version v0001" in capsys.readouterr().out
+        return root
+
+    def test_demo_exports_loadable_artifacts(self, store):
+        from repro.artifacts import load_artifacts
+
+        artifacts = load_artifacts(store)
+        assert artifacts.version == "v0001"
+        assert len(artifacts.snapshot) == 400
+
+    def test_ingest_command_rolls_version(self, store, tmp_path, capsys):
+        from repro.artifacts import load_artifacts
+
+        artifacts = load_artifacts(store)
+        entry = artifacts.snapshot.entries[0].replace(
+            cve_id="CVE-2018-88888", cvss_v3=None
+        )
+        delta_path = tmp_path / "delta.json.gz"
+        save_feed([entry], delta_path)
+        code = main(["ingest", str(delta_path), "--artifacts", str(store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Incremental ingest" in out
+        assert "v0002" in out
+        assert load_artifacts(store).snapshot.get("CVE-2018-88888") is not None
+
+    def test_serve_requires_artifacts(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
 
 
 class TestParser:

@@ -177,3 +177,61 @@ class TestPca:
             PCA(n_components=10).fit(np.zeros((5, 3)))
         with pytest.raises(RuntimeError, match="not fitted"):
             PCA().transform(np.zeros((2, 2)))
+
+
+class TestSerialization:
+    """Save/load round-trips must restore bit-identical predictions."""
+
+    def test_linear_round_trip(self, tmp_path):
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((80, 5))
+        y = rng.standard_normal(80)
+        model = LinearRegression(l2=1e-4).fit(x, y)
+        loaded = LinearRegression.load(model.save(tmp_path / "lr.npz"))
+        assert np.array_equal(model.predict(x), loaded.predict(x))
+        assert loaded.l2 == model.l2
+
+    def test_svr_round_trip(self, tmp_path):
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((120, 5))
+        y = np.sin(x[:, 0]) + 0.1 * x[:, 1]
+        model = SupportVectorRegressor(epochs=5, seed=3).fit(x, y)
+        loaded = SupportVectorRegressor.load(model.save(tmp_path / "svr.npz"))
+        assert np.array_equal(model.predict(x), loaded.predict(x))
+        assert (loaded.c, loaded.gamma, loaded.epsilon) == (
+            model.c,
+            model.gamma,
+            model.epsilon,
+        )
+
+    def test_knn_round_trip_both_metrics(self, tmp_path):
+        rng = np.random.default_rng(12)
+        x = rng.standard_normal((60, 4))
+        labels = np.array(["CWE-79", "CWE-89", "CWE-119"] * 20)
+        for metric in ("euclidean", "cosine"):
+            model = KNeighborsClassifier(k=3, metric=metric).fit(x, labels)
+            loaded = KNeighborsClassifier.load(
+                model.save(tmp_path / f"knn_{metric}.npz")
+            )
+            assert np.array_equal(model.predict(x), loaded.predict(x))
+            assert loaded.k == 3 and loaded.metric == metric
+
+    def test_pca_round_trip(self, tmp_path):
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal((40, 6))
+        model = PCA(3).fit(x)
+        loaded = PCA.load(model.save(tmp_path / "pca.npz"))
+        assert np.array_equal(model.transform(x), loaded.transform(x))
+        assert np.array_equal(
+            model.explained_variance_ratio, loaded.explained_variance_ratio
+        )
+
+    def test_unfitted_models_refuse_to_save(self, tmp_path):
+        for model in (
+            LinearRegression(),
+            SupportVectorRegressor(),
+            KNeighborsClassifier(),
+            PCA(),
+        ):
+            with pytest.raises(RuntimeError, match="not fitted"):
+                model.save(tmp_path / "unfitted.npz")

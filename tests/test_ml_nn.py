@@ -193,3 +193,72 @@ class TestTraining:
             return fit(model, x, y, epochs=5, seed=3)
 
         assert run() == run()
+
+
+class TestSerialization:
+    """Sequential.save/load restores bit-identical forward passes."""
+
+    def _cnn(self, rng):
+        return Sequential(
+            Conv1D(1, 4, 3, rng),
+            ReLU(),
+            Conv1D(4, 4, 3, rng),
+            ReLU(),
+            Flatten(),
+            Dense(13 * 4, 8, rng),
+            ReLU(),
+            Dense(8, 1, rng),
+            Sigmoid(),
+        )
+
+    def test_cnn_round_trip_after_training(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = self._cnn(rng)
+        x = rng.standard_normal((32, 13, 1))
+        y = rng.uniform(0, 1, (32, 1))
+        fit(model, x, y, epochs=2, dtype=np.float32)
+        loaded = Sequential.load(model.save(tmp_path / "cnn.npz"))
+        batch = x.astype(np.float32)
+        assert np.array_equal(model.predict(batch), loaded.predict(batch))
+        assert loaded.predict(batch).dtype == np.float32
+
+    def test_dense_round_trip_untrained(self, tmp_path):
+        rng = np.random.default_rng(1)
+        model = Sequential(Dense(5, 7, rng), ReLU(), Dense(7, 1, rng), Sigmoid())
+        loaded = Sequential.load(model.save(tmp_path / "dnn.npz"))
+        x = rng.standard_normal((10, 5))
+        assert np.array_equal(model.predict(x), loaded.predict(x))
+
+    def test_loaded_model_can_keep_training(self, tmp_path):
+        rng = np.random.default_rng(2)
+        model = Sequential(Dense(4, 6, rng), ReLU(), Dense(6, 1, rng))
+        x = rng.standard_normal((16, 4))
+        y = rng.standard_normal((16, 1))
+        loaded = Sequential.load(model.save(tmp_path / "net.npz"))
+        history = fit(loaded, x, y, epochs=3)
+        assert len(history) == 3 and history[-1] <= history[0]
+
+    def test_load_rejects_unknown_layer(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, arch=json.dumps([{"type": "Transformer"}]))
+        with pytest.raises(ValueError, match="unknown layer type"):
+            Sequential.load(path)
+
+    def test_load_rejects_parameter_mismatch(self, tmp_path):
+        import json
+
+        rng = np.random.default_rng(3)
+        path = tmp_path / "trunc.npz"
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                arch=json.dumps(
+                    [{"type": "Dense", "in_features": 3, "out_features": 2}]
+                ),
+                param_0=rng.standard_normal((3, 2)),
+            )
+        with pytest.raises(ValueError, match="parameters"):
+            Sequential.load(path)

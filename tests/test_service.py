@@ -1,0 +1,272 @@
+"""The HTTP query service: endpoints, caching, concurrency, hot swap."""
+
+import concurrent.futures
+import json
+import shutil
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.artifacts import ingest_delta, load_artifacts
+from repro.service import create_server
+
+
+@pytest.fixture(scope="module")
+def store(artifact_root, tmp_path_factory):
+    """A private store copy — the hot-swap test ingests into it."""
+    root = tmp_path_factory.mktemp("service") / "store"
+    shutil.copytree(artifact_root, root)
+    return root
+
+
+@pytest.fixture(scope="module")
+def server(store):
+    """A live threaded server; reload_interval=0 checks CURRENT per request."""
+    server = create_server(store, port=0, reload_interval=0.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def get(base_url, path):
+    try:
+        with urllib.request.urlopen(base_url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post(base_url, path, body):
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(
+        base_url + path,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHealthAndStats:
+    def test_healthz(self, base_url):
+        status, payload = get(base_url, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["version"] == "v0001"
+
+    def test_stats_matches_cli_json_shape(self, base_url, store, capsys):
+        from repro.cli import main
+
+        status, payload = get(base_url, "/v1/stats")
+        assert status == 200
+        feed = store / "v0001" / "snapshot.json.gz"
+        assert main(["stats", str(feed), "--json"]) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+        assert payload == cli_payload
+
+
+class TestCveEndpoint:
+    def test_known_cve_payload(self, base_url, small_rectified):
+        entry = small_rectified.snapshot.entries[0]
+        status, payload = get(base_url, f"/v1/cve/{entry.cve_id}")
+        assert status == 200
+        assert payload["cve_id"] == entry.cve_id
+        assert payload["published"] == entry.published.isoformat()
+        assert payload["cwe_ids"] == list(entry.cwe_ids)
+        assert payload["estimated_disclosure"] <= payload["published"]
+        if entry.cvss_v2 is not None:
+            assert 0.0 <= payload["cvss_v2"]["base_score"] <= 10.0
+            assert payload["predicted_v3_severity"] in (
+                "NONE", "LOW", "MEDIUM", "HIGH", "CRITICAL",
+            )
+            assert payload["v3_backported"] == (entry.cvss_v3 is None)
+
+    def test_unknown_cve_404(self, base_url):
+        status, payload = get(base_url, "/v1/cve/CVE-1999-99999")
+        assert status == 404
+        assert "unknown CVE" in payload["error"]
+
+    def test_unknown_route_404(self, base_url):
+        assert get(base_url, "/v2/everything")[0] == 404
+        assert get(base_url, "/v1/cve")[0] == 404
+
+
+class TestNameEndpoints:
+    def test_vendor_lookup(self, base_url, small_rectified):
+        vendor = small_rectified.snapshot.vendors()[0]
+        status, payload = get(
+            base_url, f"/v1/vendor/{urllib.parse.quote(vendor)}"
+        )
+        assert status == 200
+        assert payload["vendor"] == vendor
+        assert payload["n_cves"] >= 1
+        assert payload["cve_ids"]
+
+    def test_vendor_alias_resolves_to_canonical(self, base_url, small_rectified):
+        mapping = small_rectified.vendor_analysis.mapping
+        if not mapping:
+            pytest.skip("no vendor aliases in this bundle")
+        alias, canonical = next(iter(mapping.items()))
+        status, payload = get(base_url, f"/v1/vendor/{urllib.parse.quote(alias)}")
+        assert status == 200
+        assert payload["vendor"] == canonical
+        assert payload["queried"] == alias
+        assert alias in payload["aliases"]
+
+    def test_unknown_vendor_404(self, base_url):
+        assert get(base_url, "/v1/vendor/definitely_not_a_vendor")[0] == 404
+
+    def test_product_lookup(self, base_url, small_rectified):
+        entry = next(
+            e for e in small_rectified.snapshot.entries if e.vendor_products()
+        )
+        vendor, product = entry.vendor_products()[0]
+        path = (
+            f"/v1/product/{urllib.parse.quote(vendor)}/"
+            f"{urllib.parse.quote(product)}"
+        )
+        status, payload = get(base_url, path)
+        assert status == 200
+        assert payload["vendor"] == vendor
+        assert payload["product"] == product
+        assert entry.cve_id in payload["cve_ids"]
+
+    def test_unknown_product_404(self, base_url):
+        assert get(base_url, "/v1/product/nobody/nothing")[0] == 404
+
+
+class TestPredictEndpoint:
+    VECTOR = "AV:N/AC:L/Au:N/C:C/I:C/A:C"
+
+    def test_predict_from_vector(self, base_url):
+        status, payload = post(
+            base_url, "/v1/severity/predict", {"cvss_v2": self.VECTOR}
+        )
+        assert status == 200
+        assert 0.0 <= payload["score"] <= 10.0
+        assert payload["severity"] in ("NONE", "LOW", "MEDIUM", "HIGH", "CRITICAL")
+        assert payload["model"] in ("lr", "svr", "cnn", "dnn")
+
+    def test_description_feeds_cwe_regex(self, base_url):
+        status, payload = post(
+            base_url,
+            "/v1/severity/predict",
+            {"cvss_v2": self.VECTOR, "description": "heap overflow, CWE-122."},
+        )
+        assert status == 200
+        assert payload["cwe_ids"] == ["CWE-122"]
+
+    def test_missing_vector_400(self, base_url):
+        status, payload = post(base_url, "/v1/severity/predict", {"description": "x"})
+        assert status == 400
+        assert "cvss_v2" in payload["error"]
+
+    def test_bad_vector_400(self, base_url):
+        status, payload = post(
+            base_url, "/v1/severity/predict", {"cvss_v2": "AV:Q/nonsense"}
+        )
+        assert status == 400
+
+    def test_bad_json_400(self, base_url):
+        status, payload = post(base_url, "/v1/severity/predict", b"{truncated")
+        assert status == 400
+        assert "JSON" in payload["error"]
+
+    def test_empty_body_400(self, base_url):
+        status, payload = post(base_url, "/v1/severity/predict", b"")
+        assert status == 400
+
+    def test_malformed_cwe_id_400(self, base_url):
+        status, payload = post(
+            base_url,
+            "/v1/severity/predict",
+            {"cvss_v2": self.VECTOR, "cwe_ids": ["CWE-not-a-number"]},
+        )
+        assert status == 400
+
+
+class TestMetricsAndCache:
+    def test_metrics_counts_requests(self, base_url):
+        before = get(base_url, "/v1/metrics")[1]
+        get(base_url, "/healthz")
+        after = get(base_url, "/v1/metrics")[1]
+        assert (
+            after["counters"]["requests_total"]
+            > before["counters"]["requests_total"]
+        )
+        assert after["version"] == "v0001"
+
+    def test_response_class_counters_sum_to_requests(
+        self, base_url, small_rectified
+    ):
+        # exercise both a cache miss and a cache hit first
+        cve_id = small_rectified.snapshot.entries[3].cve_id
+        get(base_url, f"/v1/cve/{cve_id}")
+        get(base_url, f"/v1/cve/{cve_id}")
+        counters = get(base_url, "/v1/metrics")[1]["counters"]
+        responses = sum(
+            count
+            for name, count in counters.items()
+            if name.startswith("responses_")
+        )
+        # the in-flight /v1/metrics request is counted in requests_total
+        # but its own response-class bump lands after payload assembly
+        assert responses == counters["requests_total"] - 1
+
+    def test_repeated_get_hits_cache(self, base_url, small_rectified):
+        cve_id = small_rectified.snapshot.entries[1].cve_id
+        get(base_url, f"/v1/cve/{cve_id}")
+        before = get(base_url, "/v1/metrics")[1]["counters"].get("cache_hits", 0)
+        status, _ = get(base_url, f"/v1/cve/{cve_id}")
+        assert status == 200
+        after = get(base_url, "/v1/metrics")[1]["counters"]["cache_hits"]
+        assert after > before
+
+
+class TestConcurrency:
+    def test_parallel_mixed_requests(self, base_url, small_rectified):
+        entries = small_rectified.snapshot.entries
+        paths = ["/healthz", "/v1/stats"] + [
+            f"/v1/cve/{entries[i % len(entries)].cve_id}" for i in range(30)
+        ]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lambda p: get(base_url, p), paths * 3))
+        assert all(status == 200 for status, _ in results)
+        # identical paths must serve identical payloads
+        by_path: dict[str, object] = {}
+        for path, (status, payload) in zip(paths * 3, results):
+            assert by_path.setdefault(path, payload) == payload
+
+
+class TestHotSwap:
+    def test_ingest_hot_swaps_running_server(self, base_url, store):
+        artifacts = load_artifacts(store)
+        base = artifacts.snapshot.entries[0]
+        new_id = "CVE-2018-99777"
+        assert get(base_url, f"/v1/cve/{new_id}")[0] == 404
+        result = ingest_delta(
+            store, [base.replace(cve_id=new_id, cvss_v3=None)]
+        )
+        # reload_interval=0 → the next request observes the new pointer
+        status, payload = get(base_url, f"/v1/cve/{new_id}")
+        assert status == 200
+        assert payload["v3_backported"] is True
+        assert get(base_url, "/healthz")[1]["version"] == result.version
+        metrics = get(base_url, "/v1/metrics")[1]
+        assert metrics["swaps"] >= 1

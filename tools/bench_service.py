@@ -1,0 +1,309 @@
+#!/usr/bin/env python
+"""Serving-layer benchmark harness.
+
+Cold-starts the query service from an artifact store, fires a mixed
+request workload at it through concurrent clients, and appends
+throughput plus p50/p95 latency (overall and per endpoint) to
+``BENCH_service.json`` — the serving counterpart of ``tools/bench.py``
+and ``BENCH_pipeline.json``, with the same schema-check pattern.
+
+Usage::
+
+    PYTHONPATH=src python -m repro demo --n-cves 8000 --artifacts /tmp/store
+    PYTHONPATH=src python tools/bench_service.py --artifacts /tmp/store
+    PYTHONPATH=src python tools/bench_service.py --artifacts /tmp/store \
+        --requests 2000 --clients 8 --label current
+    python tools/bench_service.py --check-schema BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA = "repro-bench-service/1"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+#: required keys of one run entry and their types.
+_RUN_FIELDS = {
+    "label": str,
+    "requests": int,
+    "clients": int,
+    "n_cves": int,
+    "version": str,
+    "wall_s": (int, float),
+    "rps": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "endpoints": dict,
+}
+
+#: workload mix: (endpoint label, weight).
+_MIX = [
+    ("cve", 50),
+    ("vendor", 15),
+    ("product", 15),
+    ("predict", 10),
+    ("stats", 5),
+    ("healthz", 5),
+]
+
+
+def validate(data: object) -> list[str]:
+    """Schema errors in a BENCH_service.json document (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return ["document must be a JSON object"]
+    if data.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {data.get('schema')!r}")
+    runs = data.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs must be a non-empty list"]
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            errors.append(f"runs[{i}] must be an object")
+            continue
+        for field, types in _RUN_FIELDS.items():
+            if field not in run:
+                errors.append(f"runs[{i}] missing field {field!r}")
+            elif not isinstance(run[field], types):
+                errors.append(f"runs[{i}].{field} has wrong type")
+        endpoints = run.get("endpoints")
+        if isinstance(endpoints, dict):
+            for name, stats in endpoints.items():
+                if not isinstance(stats, dict) or not {
+                    "count",
+                    "p50_ms",
+                    "p95_ms",
+                }.issubset(stats):
+                    errors.append(
+                        f"runs[{i}].endpoints[{name!r}] must carry "
+                        "count/p50_ms/p95_ms"
+                    )
+    return errors
+
+
+def load(path: pathlib.Path) -> dict:
+    if path.exists():
+        with path.open(encoding="utf-8") as handle:
+            return json.load(handle)
+    return {"schema": SCHEMA, "runs": []}
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def build_workload(artifacts, n_requests: int, seed: int) -> list[tuple[str, str, bytes | None]]:
+    """A deterministic (label, path, POST body) request mix."""
+    from repro.cvss import v2_vector_string
+
+    rng = random.Random(seed)
+    entries = artifacts.snapshot.entries
+    scored = [e for e in entries if e.cvss_v2 is not None]
+    vendors = artifacts.snapshot.vendors()
+    pairs = [pair for e in entries[:2000] for pair in e.vendor_products()]
+    labels = [label for label, weight in _MIX for _ in range(weight)]
+    workload: list[tuple[str, str, bytes | None]] = []
+    for _ in range(n_requests):
+        label = rng.choice(labels)
+        if label == "cve":
+            workload.append((label, f"/v1/cve/{rng.choice(entries).cve_id}", None))
+        elif label == "vendor":
+            name = urllib.parse.quote(rng.choice(vendors))
+            workload.append((label, f"/v1/vendor/{name}", None))
+        elif label == "product":
+            vendor, product = rng.choice(pairs)
+            path = f"/v1/product/{urllib.parse.quote(vendor)}/{urllib.parse.quote(product)}"
+            workload.append((label, path, None))
+        elif label == "predict":
+            entry = rng.choice(scored)
+            body = json.dumps(
+                {
+                    "cvss_v2": v2_vector_string(entry.cvss_v2),
+                    "description": entry.description,
+                }
+            ).encode("utf-8")
+            workload.append((label, "/v1/severity/predict", body))
+        else:
+            workload.append((label, "/healthz" if label == "healthz" else "/v1/stats", None))
+    return workload
+
+
+def fire(base_url: str, item: tuple[str, str, bytes | None]) -> tuple[str, int, float]:
+    """One client request; returns (endpoint label, status, seconds)."""
+    label, path, body = item
+    request = urllib.request.Request(
+        base_url + path,
+        data=body,
+        headers={"Content-Type": "application/json"} if body else {},
+        method="POST" if body is not None else "GET",
+    )
+    start = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            response.read()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        status = error.code
+    return label, status, time.perf_counter() - start
+
+
+def bench(
+    artifacts_dir: pathlib.Path,
+    n_requests: int,
+    clients: int,
+    seed: int,
+    label: str,
+) -> dict:
+    """Start the server, run the workload, return the run record."""
+    from repro.artifacts import read_current
+    from repro.runtime import ThreadExecutor
+    from repro.service import create_server
+
+    t_cold = time.perf_counter()
+    # Pin the live version: a pinned server never polls CURRENT, so the
+    # measured request path carries no per-request pointer stat.
+    server = create_server(artifacts_dir, port=0, version=read_current(artifacts_dir))
+    cold_start_s = time.perf_counter() - t_cold
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    base_url = f"http://{host}:{port}"
+    # The server already loaded (and hash-verified) the store; reuse
+    # its artifacts for the workload ids instead of loading twice.
+    artifacts = server.service.state.artifacts
+    workload = build_workload(artifacts, n_requests, seed)
+    print(
+        f"[bench-service] {base_url} version={artifacts.version} "
+        f"n_cves={len(artifacts.snapshot)} requests={n_requests} "
+        f"clients={clients} (cold start {cold_start_s:.2f}s)"
+    )
+    executor = ThreadExecutor(workers=clients)
+    try:
+        t_wall = time.perf_counter()
+        results = executor.map(lambda item: fire(base_url, item), workload)
+        wall_s = time.perf_counter() - t_wall
+    finally:
+        executor.close()
+        server.shutdown()
+        server.server_close()
+
+    failures = [status for _, status, _ in results if status >= 400]
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} requests failed (first status {failures[0]})"
+        )
+    latencies = sorted(seconds for _, _, seconds in results)
+    by_endpoint: dict[str, list[float]] = {}
+    for endpoint, _, seconds in results:
+        by_endpoint.setdefault(endpoint, []).append(seconds)
+    endpoints = {
+        name: {
+            "count": len(values),
+            "p50_ms": round(percentile(sorted(values), 0.50) * 1000, 3),
+            "p95_ms": round(percentile(sorted(values), 0.95) * 1000, 3),
+        }
+        for name, values in sorted(by_endpoint.items())
+    }
+    return {
+        "label": label,
+        "requests": n_requests,
+        "clients": clients,
+        "n_cves": len(artifacts.snapshot),
+        "version": artifacts.version,
+        "cold_start_s": round(cold_start_s, 3),
+        "wall_s": round(wall_s, 3),
+        "rps": round(n_requests / wall_s, 1) if wall_s > 0 else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p95_ms": round(percentile(latencies, 0.95) * 1000, 3),
+        "endpoints": endpoints,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", type=pathlib.Path, metavar="DIR",
+        help="artifact store to cold-start the server from",
+    )
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--label", default="current")
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help="trajectory JSON to append to (default: BENCH_service.json)",
+    )
+    parser.add_argument(
+        "--check-schema", type=pathlib.Path, metavar="FILE",
+        help="validate FILE against the service-bench schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check_schema is not None:
+        try:
+            with args.check_schema.open(encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"[bench-service] {args.check_schema}: unreadable: {error}")
+            return 1
+        errors = validate(data)
+        for error in errors:
+            print(f"[bench-service] schema error: {error}")
+        print(
+            f"[bench-service] {args.check_schema}: "
+            + ("INVALID" if errors else f"valid ({len(data['runs'])} runs)")
+        )
+        return 1 if errors else 0
+
+    if args.artifacts is None:
+        parser.error("--artifacts is required (or use --check-schema)")
+    if args.requests < 1 or args.clients < 1:
+        parser.error("--requests and --clients must be positive")
+
+    document = load(args.output)
+    if "runs" not in document or not isinstance(document.get("runs"), list):
+        document = {"schema": SCHEMA, "runs": []}
+    document["schema"] = SCHEMA
+
+    run = bench(args.artifacts, args.requests, args.clients, args.seed, args.label)
+    document["runs"].append(run)
+    print(
+        f"[bench-service] {run['rps']} req/s, p50 {run['p50_ms']}ms, "
+        f"p95 {run['p95_ms']}ms over {run['requests']} requests"
+    )
+    for name, stats in run["endpoints"].items():
+        print(
+            f"  {name:<10} count={stats['count']:<6} "
+            f"p50={stats['p50_ms']}ms p95={stats['p95_ms']}ms"
+        )
+
+    errors = validate(document)
+    if errors:  # defensive: never write a file CI would reject
+        for error in errors:
+            print(f"[bench-service] internal schema error: {error}")
+        return 1
+    args.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench-service] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

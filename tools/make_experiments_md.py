@@ -3,11 +3,24 @@
 Run the benchmark suite first (``PYTHONPATH=src pytest benchmarks/``,
 which writes the rendered tables/figures to ``benchmarks/out/``),
 then:  python tools/make_experiments_md.py
+
+Or let this tool run the suite itself::
+
+    python tools/make_experiments_md.py --run --crawl-cache .crawl_cache.json
+
+``--crawl-cache`` points the suite's §4.1 crawl at the same persistent
+cache ``tools/bench.py --crawl-cache`` uses (both default to the
+``REPRO_CRAWL_CACHE`` environment variable), so one warm cache serves
+benchmarking and experiment regeneration alike.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import pathlib
+import subprocess
+import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT = ROOT / "benchmarks" / "out"
@@ -64,7 +77,50 @@ days inside the snapshot window.
 """
 
 
-def main() -> None:
+def run_benchmarks(crawl_cache: str | None) -> int:
+    """Run the benchmark suite, sharing the bench harness's crawl cache.
+
+    The suite's cleaning run (``repro.experiments.default_rectified``)
+    honours ``REPRO_CRAWL_CACHE`` through ``clean()``, so exporting the
+    variable is all the sharing takes — the same file
+    ``tools/bench.py --crawl-cache`` reads and writes.
+    """
+    env = os.environ.copy()
+    if crawl_cache:
+        env["REPRO_CRAWL_CACHE"] = str(pathlib.Path(crawl_cache).resolve())
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "-q"],
+        cwd=ROOT,
+        env=env,
+    )
+    return result.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--run", action="store_true",
+        help="run the benchmark suite before assembling EXPERIMENTS.md",
+    )
+    parser.add_argument(
+        "--crawl-cache", default=os.environ.get("REPRO_CRAWL_CACHE"),
+        metavar="PATH",
+        help="persistent §4.1 crawl cache shared with tools/bench.py "
+        "(default: REPRO_CRAWL_CACHE; only used with --run)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.run:
+        code = run_benchmarks(args.crawl_cache)
+        if code != 0:
+            print(f"benchmark suite failed (exit {code}); EXPERIMENTS.md not updated")
+            return code
+    elif args.crawl_cache and "REPRO_CRAWL_CACHE" not in os.environ:
+        print("note: --crawl-cache only takes effect with --run")
+
     sections = [HEADER]
     for stem, title, module in EXPERIMENTS:
         path = OUT / f"{stem}.txt"
@@ -76,7 +132,8 @@ def main() -> None:
             sections.append("_(no output captured — run the benchmark suite)_\n")
     (ROOT / "EXPERIMENTS.md").write_text("\n".join(sections), encoding="utf-8")
     print(f"wrote {ROOT / 'EXPERIMENTS.md'}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())
