@@ -135,6 +135,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         version=args.version,
         reload_interval=args.reload_interval,
+        workers=args.workers,
     )
 
 
@@ -233,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--reload-interval", type=float, default=1.0, metavar="SECONDS",
         help="how often to poll the CURRENT pointer for hot swaps "
         "(0 checks on every request; --version disables polling)",
+    )
+    cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="server processes sharing the port via SO_REUSEPORT "
+        "(default: REPRO_WORKERS or 1; each worker cold-starts from "
+        "the store and hot-swaps independently)",
     )
     cmd.set_defaults(func=_cmd_serve)
 

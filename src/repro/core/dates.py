@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import dataclasses
 import datetime
-import functools
 from collections import Counter
 from collections.abc import Sequence
 
@@ -20,7 +19,7 @@ import numpy as np
 from repro import perf
 from repro.cvss import Severity
 from repro.nvd import CveEntry, NvdSnapshot
-from repro.runtime import Executor, map_shards
+from repro.runtime import Executor, SharedHandle, map_published
 from repro.web import CrawlCache, ReferenceCrawler, WebClient
 
 __all__ = [
@@ -79,20 +78,27 @@ def estimate_disclosure(
 _DATES_CHUNK = 512
 
 
-def _estimate_chunk(
-    entries: Sequence[CveEntry],
-    client: WebClient,
-    cache: CrawlCache | None,
+def _estimate_shard(
+    task: tuple[SharedHandle, Sequence[CveEntry]],
 ) -> tuple[list[DisclosureEstimate], Counter, dict]:
     """Worker body: estimate one shard of entries.
 
-    Returns the estimates plus the crawl counters and any new cache
-    entries, so the parent can merge bookkeeping from process workers
-    that operated on pickled copies.
+    ``task`` is ``(handle, entries)``: the handle resolves the web
+    client and crawl cache published once per worker on the shared
+    state plane, the entry shard is the task payload.  Returns the
+    estimates plus the crawl counters and any new cache entries, so
+    the parent can merge bookkeeping from process workers that operate
+    on their installed cache copies.
     """
-    crawler = ReferenceCrawler(client, cache=cache)
+    handle, entries = task
+    shared = handle.resolve()
+    cache: CrawlCache | None = shared["cache"]
+    crawler = ReferenceCrawler(shared["client"], cache=cache)
     estimates = [estimate_disclosure(entry, crawler) for entry in entries]
-    new_entries = cache.new_entries() if cache is not None else {}
+    # take_new(), not new_entries(): the worker's cache copy outlives
+    # this shard, and draining keeps each result shipping only its own
+    # additions instead of the worker's cumulative set.
+    new_entries = cache.take_new() if cache is not None else {}
     return estimates, crawler.counters, new_entries
 
 
@@ -106,15 +112,23 @@ def estimate_all(
 
     Entries shard across ``executor`` in fixed-size chunks (each CVE's
     estimate is independent, so any backend returns identical results);
-    ``cache`` lets repeated runs replay per-URL scrape outcomes instead
-    of re-fetching.  The merged crawl counters land in the perf
-    recorder under ``dates.*``; note the ``cache_hit``/``cache_miss``
-    split is diagnostic only — it shifts with the backend (process
-    workers scrape against cold cache copies), while the estimates
-    themselves never do.
+    the client and cache are *published* on the executor's worker
+    context — shipped once per process worker instead of riding in
+    every shard task.  ``cache`` lets repeated runs replay per-URL
+    scrape outcomes instead of re-fetching.  The merged crawl counters
+    land in the perf recorder under ``dates.*``; note the
+    ``cache_hit``/``cache_miss`` split is diagnostic only — it shifts
+    with the backend (process workers scrape against their own cache
+    copies), while the estimates themselves never do.
     """
-    worker = functools.partial(_estimate_chunk, client=client, cache=cache)
-    shards = map_shards(executor, worker, snapshot.entries, _DATES_CHUNK)
+    shards = map_published(
+        executor,
+        _estimate_shard,
+        "dates.crawl",
+        {"client": client, "cache": cache},
+        snapshot.entries,
+        _DATES_CHUNK,
+    )
     estimates = [estimate for shard, _, _ in shards for estimate in shard]
     counters: Counter = Counter()
     for _, shard_counters, new_entries in shards:

@@ -29,30 +29,48 @@ __all__ = [
 ]
 
 
+class _GroundTruthVendorOracle:
+    """A picklable vendor oracle over the generator's variant map.
+
+    A class (not a closure) so the §4.2 confirmation pass can publish
+    the oracle to process workers through the shared-state plane.
+    """
+
+    __slots__ = ("vendor_map",)
+
+    def __init__(self, vendor_map: dict[str, str]) -> None:
+        self.vendor_map = vendor_map
+
+    def __call__(self, name_a: str, name_b: str) -> bool:
+        canonical = self.vendor_map.get
+        return canonical(name_a, name_a) == canonical(name_b, name_b)
+
+
+class _GroundTruthProductOracle:
+    """A picklable product oracle over the generator's variant map."""
+
+    __slots__ = ("product_map",)
+
+    def __init__(self, product_map: dict[tuple[str, str], str]) -> None:
+        self.product_map = product_map
+
+    def __call__(self, vendor: str, name_a: str, name_b: str) -> bool:
+        canonical = self.product_map.get
+        return canonical((vendor, name_a), name_a) == canonical(
+            (vendor, name_b), name_b
+        )
+
+
 def from_ground_truth(vendor_map: dict[str, str]) -> Callable[[str, str], bool]:
     """A vendor oracle backed by the generator's variant map."""
-
-    def canonical(name: str) -> str:
-        return vendor_map.get(name, name)
-
-    def confirm(name_a: str, name_b: str) -> bool:
-        return canonical(name_a) == canonical(name_b)
-
-    return confirm
+    return _GroundTruthVendorOracle(vendor_map)
 
 
 def product_oracle_from_truth(
     product_map: dict[tuple[str, str], str]
 ) -> Callable[[str, str, str], bool]:
     """A product oracle backed by the generator's variant map."""
-
-    def canonical(vendor: str, product: str) -> str:
-        return product_map.get((vendor, product), product)
-
-    def confirm(vendor: str, name_a: str, name_b: str) -> bool:
-        return canonical(vendor, name_a) == canonical(vendor, name_b)
-
-    return confirm
+    return _GroundTruthProductOracle(product_map)
 
 
 def heuristic_vendor_confirm(name_a: str, name_b: str) -> bool:

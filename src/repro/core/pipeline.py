@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import pickle
 from collections.abc import Callable
 
 from repro import perf
@@ -127,6 +128,24 @@ def clean(
     owns_executor = executor is None
     if executor is None:
         executor = make_executor(config.workers, config.backend)
+    if executor.backend == "process":
+        # The §4.2 confirmation pass publishes the oracles to worker
+        # processes; reject unpicklable ones up front with a clear
+        # error instead of a pickling traceback mid-phase.
+        for label, oracle in (
+            ("confirm_vendor", confirm_vendor),
+            ("confirm_product", confirm_product),
+        ):
+            try:
+                pickle.dumps(oracle, pickle.HIGHEST_PROTOCOL)
+            except Exception as error:
+                raise ValueError(
+                    f"backend='process' ships the {label} oracle to worker "
+                    f"processes, but it is not picklable ({error}); use a "
+                    "module-level callable (or a picklable class instance) "
+                    "instead of a lambda/closure, or run with the thread or "
+                    "serial backend"
+                ) from None
     cache = CrawlCache.resolve(crawl_cache)
 
     recorder = perf.get_recorder()

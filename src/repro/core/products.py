@@ -15,11 +15,10 @@ products — the confirmation step must reject those).
 from __future__ import annotations
 
 import dataclasses
-import functools
 from collections.abc import Callable, Sequence
 
 from repro.nvd import CveEntry, NvdSnapshot
-from repro.runtime import Executor, map_shards
+from repro.runtime import Executor, SharedHandle, map_published
 from repro.synth.names import abbreviate, tokenize_name
 
 __all__ = [
@@ -93,16 +92,22 @@ class ProductAnalysis:
 #: so shard boundaries and output order match the serial path exactly.
 _VENDORS_CHUNK = 256
 
+#: candidate pairs per confirmation shard (fixed, same contract).
+_CONFIRM_CHUNK = 1024
 
-def _vendor_product_pairs(
-    vendor_shard: Sequence[tuple[str, set[str]]],
-    edit_distance_cap: int,
+
+def _product_pairs_shard(
+    task: tuple[SharedHandle, Sequence[tuple[str, set[str]]]],
 ) -> list[ProductPair]:
     """Worker body: candidate product pairs for one shard of vendors.
 
     Each vendor's scoring is independent of every other vendor's, so
-    sharding the vendor list preserves results for any backend.
+    sharding the vendor list preserves results for any backend.  The
+    edit-distance cap resolves from the shared-state handle; the
+    vendor shard is the task payload.
     """
+    handle, vendor_shard = task
+    edit_distance_cap: int = handle.resolve()["edit_distance_cap"]
     pairs: list[ProductPair] = []
 
     for vendor, products in vendor_shard:
@@ -186,13 +191,29 @@ def product_candidate_pairs(
     Vendors shard across ``executor`` in fixed-size chunks; results
     concatenate in vendor order, matching the serial path exactly.
     """
-    worker = functools.partial(
-        _vendor_product_pairs, edit_distance_cap=edit_distance_cap
-    )
-    shards = map_shards(
-        executor, worker, list(products_by_vendor.items()), _VENDORS_CHUNK
+    shards = map_published(
+        executor,
+        _product_pairs_shard,
+        "products.pairs",
+        {"edit_distance_cap": edit_distance_cap},
+        list(products_by_vendor.items()),
+        _VENDORS_CHUNK,
     )
     return [pair for shard in shards for pair in shard]
+
+
+def _confirm_product_shard(
+    task: tuple[SharedHandle, Sequence[tuple[str, str, str]]],
+) -> list[bool]:
+    """Worker body: oracle verdicts for one shard of candidate pairs.
+
+    The oracle is published once per worker; verdicts return in pair
+    order, reproducing the serial confirmation loop exactly (see
+    :func:`repro.core.vendors._confirm_vendor_shard`).
+    """
+    handle, triples = task
+    confirm: ConfirmOracle = handle.resolve()["confirm"]
+    return [bool(confirm(vendor, name_a, name_b)) for vendor, name_a, name_b in triples]
 
 
 def analyze_products(
@@ -203,16 +224,26 @@ def analyze_products(
 ) -> ProductAnalysis:
     """Run the §4.2 product workflow (post vendor consolidation).
 
-    Pair generation shards across ``executor``; confirmation stays in
-    the calling thread (see :func:`repro.core.vendors.analyze_vendors`).
+    Pair generation *and* confirmation shard across ``executor``; the
+    oracle is published once per worker, so the process backend needs
+    a picklable, pure oracle, the thread backend calls it from several
+    threads at once, and interactive/stateful oracles belong on the
+    serial backend (see :func:`repro.core.vendors.analyze_vendors`).
     """
     products_by_vendor = snapshot.vendor_products()
     candidates = product_candidate_pairs(
         products_by_vendor, edit_distance_cap=edit_distance_cap, executor=executor
     )
-    confirmed = [
-        pair for pair in candidates if confirm(pair.vendor, pair.name_a, pair.name_b)
-    ]
+    flag_shards = map_published(
+        executor,
+        _confirm_product_shard,
+        "products.confirm",
+        {"confirm": confirm},
+        [(pair.vendor, pair.name_a, pair.name_b) for pair in candidates],
+        _CONFIRM_CHUNK,
+    )
+    flags = [flag for shard in flag_shards for flag in shard]
+    confirmed = [pair for pair, flag in zip(candidates, flags) if flag]
 
     cve_counts = snapshot.product_cve_counts()
     # Group per vendor with union-find over confirmed pairs.

@@ -43,7 +43,7 @@ from repro.ml import (
     stratified_split,
 )
 from repro.nvd import CveEntry
-from repro.runtime import Executor, make_executor
+from repro.runtime import Executor, SharedHandle, make_executor
 
 __all__ = [
     "EngineConfig",
@@ -205,17 +205,23 @@ def _build_dnn(rng: np.random.Generator, n_features: int) -> Sequential:
     )
 
 
-def _train_model_task(
-    task: "tuple[str, object, EngineConfig, np.ndarray, np.ndarray]",
+def _train_model_shard(
+    task: "tuple[SharedHandle, str]",
 ) -> tuple[str, object]:
     """Worker body: train one of the §4.3 models.
 
-    Module-level (picklable) so model training can shard across the
-    process backend; each model's training is self-contained — its rngs
-    are re-seeded from the config — so any backend trains identical
-    models in any order.
+    ``task`` is ``(handle, model name)``: the training split, the
+    config, and the freshly-initialised networks are published once per
+    worker on the shared-state plane — the task payload is just the
+    name.  Each model's training is self-contained — its rngs are
+    re-seeded from the config — so any backend trains identical models
+    in any order.
     """
-    name, model, config, x_train, y_train = task
+    handle, name = task
+    shared = handle.resolve()
+    config: EngineConfig = shared["config"]
+    x_train: np.ndarray = shared["x_train"]
+    y_train: np.ndarray = shared["y_train"]
     if name == "lr":
         return name, LinearRegression().fit(x_train, y_train)
     if name == "svr":
@@ -228,6 +234,7 @@ def _train_model_task(
     # cnn / dnn — the network was built in the parent (weight init
     # consumes a shared rng stream whose order must match the serial
     # path); training itself is deterministic given the config seed.
+    model = shared["networks"][name]
     fit(
         model,
         x_train[:, :, None] if name == "cnn" else x_train,
@@ -335,16 +342,31 @@ class SeverityPredictionEngine:
         y_train = self._y[self._train_idx]
         rng = np.random.default_rng(self.config.seed)
 
-        tasks = []
+        networks: dict[str, Sequential] = {}
         for name in self.config.models:
-            model: object = None
             if name == "cnn":
-                model = _build_cnn(rng, self._x.shape[1])
+                networks[name] = _build_cnn(rng, self._x.shape[1])
             elif name == "dnn":
-                model = _build_dnn(rng, self._x.shape[1])
-            tasks.append((name, model, self.config, x_train, y_train))
-        for name, trained in self.executor.map(_train_model_task, tasks):
-            self._models[name] = trained
+                networks[name] = _build_dnn(rng, self._x.shape[1])
+        # The training split, config, and initial networks ship to each
+        # worker once via the shared-state plane; the per-model tasks
+        # carry only the model name.
+        context = self.executor.context
+        handle = context.publish(
+            "severity.fit",
+            {
+                "config": self.config,
+                "x_train": x_train,
+                "y_train": y_train,
+                "networks": networks,
+            },
+        )
+        try:
+            tasks = [(handle, name) for name in self.config.models]
+            for name, trained in self.executor.map(_train_model_shard, tasks):
+                self._models[name] = trained
+        finally:
+            context.retire("severity.fit")
         return self
 
     # -- prediction ----------------------------------------------------------

@@ -23,11 +23,10 @@ PaV × longest-substring-match ≥3 or <3) is computed per pair.
 from __future__ import annotations
 
 import dataclasses
-import functools
 from collections.abc import Callable, Sequence
 
 from repro.nvd import CveEntry, NvdSnapshot
-from repro.runtime import Executor, map_shards
+from repro.runtime import Executor, SharedHandle, map_published
 from repro.synth.names import abbreviate, tokenize_name
 
 __all__ = [
@@ -154,17 +153,21 @@ def _char_4grams(name: str) -> set[str]:
 _PAIRS_CHUNK = 1024
 
 
-def _score_pair_chunk(
-    pairs: Sequence[tuple[str, str]],
-    tokens_by_name: dict[str, tuple[str, ...]],
-    vendor_products: dict[str, set[str]],
+def _score_pair_shard(
+    task: tuple[SharedHandle, Sequence[tuple[str, str]]],
 ) -> list[PairFeatures]:
     """Worker body: Table 2 features for one shard of candidate pairs.
 
     The longest-common-substring scan is the quadratic heart of §4.2's
     scoring, which is why this — and not the cheap blocking passes — is
-    the sharded step.
+    the sharded step.  The token and vendor→products indices resolve
+    from the shared-state handle (published once per worker); only the
+    pair shard rides in the task.
     """
+    handle, pairs = task
+    shared = handle.resolve()
+    tokens_by_name: dict[str, tuple[str, ...]] = shared["tokens_by_name"]
+    vendor_products: dict[str, set[str]] = shared["vendor_products"]
     empty: set[str] = set()
     features: list[PairFeatures] = []
     for a, b in pairs:
@@ -310,14 +313,32 @@ def candidate_pairs(
         (vendors[ia], vendors[ib])
         for ia, ib in sorted(pairs, key=lambda p: (vendors[p[0]], vendors[p[1]]))
     ]
-    tokens_by_name = dict(zip(vendors, tokens_of))
-    worker = functools.partial(
-        _score_pair_chunk,
-        tokens_by_name=tokens_by_name,
-        vendor_products=vendor_products,
+    shards = map_published(
+        executor,
+        _score_pair_shard,
+        "vendors.pairs",
+        {
+            "tokens_by_name": dict(zip(vendors, tokens_of)),
+            "vendor_products": vendor_products,
+        },
+        ordered_pairs,
+        _PAIRS_CHUNK,
     )
-    shards = map_shards(executor, worker, ordered_pairs, _PAIRS_CHUNK)
     return [features for shard in shards for features in shard]
+
+
+def _confirm_vendor_shard(
+    task: tuple[SharedHandle, Sequence[tuple[str, str]]],
+) -> list[bool]:
+    """Worker body: oracle verdicts for one shard of candidate pairs.
+
+    The oracle is published once per worker; verdicts return in pair
+    order, so filtering the candidates against the concatenated flags
+    reproduces the serial confirmation loop exactly.
+    """
+    handle, pairs = task
+    confirm: ConfirmOracle = handle.resolve()["confirm"]
+    return [bool(confirm(name_a, name_b)) for name_a, name_b in pairs]
 
 
 class _UnionFind:
@@ -348,19 +369,34 @@ def analyze_vendors(
     """Run the full §4.2 vendor workflow against a snapshot.
 
     ``confirm`` plays the manual-investigation role: given two names it
-    answers whether they denote the same vendor.  Pair scoring shards
-    across ``executor``; confirmation stays in the calling thread (the
-    oracle may be an interactive analyst or an unpicklable closure).
+    answers whether they denote the same vendor.  Pair scoring *and*
+    confirmation shard across ``executor``: the oracle is published
+    once per worker on the shared-state plane and consulted in pair
+    order, so any backend confirms exactly the pairs a serial run
+    confirms.  The process backend therefore needs a picklable, pure
+    oracle (module-level callable over plain data — what
+    :func:`repro.core.oracles.from_ground_truth` returns).  Unpicklable
+    oracles remain usable on the serial and thread backends, where the
+    published oracle is a direct reference — but the thread backend
+    calls it from several worker threads at once, so an interactive or
+    stateful oracle belongs on the serial backend.
     """
     vendors = snapshot.vendors()
     vendor_products = _vendor_products(snapshot)
     candidates = candidate_pairs(
         vendors, vendor_products, max_bucket=max_bucket, executor=executor
     )
+    flag_shards = map_published(
+        executor,
+        _confirm_vendor_shard,
+        "vendors.confirm",
+        {"confirm": confirm},
+        [(features.name_a, features.name_b) for features in candidates],
+        _PAIRS_CHUNK,
+    )
+    flags = [flag for shard in flag_shards for flag in shard]
     confirmed = [
-        features
-        for features in candidates
-        if confirm(features.name_a, features.name_b)
+        features for features, flag in zip(candidates, flags) if flag
     ]
 
     groups = _UnionFind()

@@ -23,10 +23,15 @@ Parallel execution: :meth:`Sequential.predict` and :func:`fit` accept a
 :class:`repro.runtime.Executor`.  Work shards along the batch axis in
 chunks whose boundaries depend only on fixed chunk sizes (never the
 worker count) and partial results reduce in input order, so every
-backend produces bit-identical outputs.  Worker tasks run on
-:meth:`Sequential.worker_copy` clones — fresh layer/gradient state over
-shared weights — because layers cache forward state and are therefore
-not reentrant.
+backend produces bit-identical outputs.  Large read-only inputs ride
+the executor's shared-state plane: ``predict`` publishes the weights
+and the input matrix once per worker and maps ``(handle, start, stop)``
+range tasks, and the chunked-GEMM ``fit`` path publishes the training
+arrays once and maps index shards (only the per-step weights still
+ship per minibatch — they change on every optimizer step).  Worker
+tasks run on :meth:`Sequential.worker_copy` clones — fresh
+layer/gradient state over shared weights — because layers cache
+forward state and are therefore not reentrant.
 """
 
 from __future__ import annotations
@@ -480,33 +485,44 @@ class Sequential(Layer):
 
         Batch boundaries depend only on ``batch_size``, so mapping the
         batches across an executor returns bit-identical results for
-        every backend; each task forwards through a :meth:`worker_copy`
+        every backend.  The weights and the input matrix are published
+        on the executor's shared-state plane — shipped once per process
+        worker — and the tasks carry only ``(handle, start, stop)``
+        ranges; each task forwards through a :meth:`worker_copy`
         because layers cache forward state.
         """
-        starts = range(0, x.shape[0], batch_size)
-        if executor is None or executor.workers <= 1 or x.shape[0] <= batch_size:
+        n = x.shape[0]
+        starts = range(0, n, batch_size)
+        if executor is None or executor.workers <= 1 or n <= batch_size:
             chunks = [self.forward(x[start : start + batch_size]) for start in starts]
         else:
-            chunks = executor.map(
-                _PredictChunk(self), [x[start : start + batch_size] for start in starts]
+            context = executor.context
+            # A state-free clone: publishing must not ship whatever
+            # forward/scratch caches this model accumulated in training.
+            handle = context.publish(
+                "nn.predict", {"model": self.worker_copy(), "x": x}
             )
+            try:
+                chunks = executor.map(
+                    _predict_shard,
+                    [(handle, start, min(start + batch_size, n)) for start in starts],
+                )
+            finally:
+                context.retire("nn.predict")
         return np.concatenate(chunks, axis=0) if chunks else np.empty((0,))
 
 
-class _PredictChunk:
-    """Picklable task: forward one batch through a private model clone.
+def _predict_shard(task: "tuple[object, int, int]") -> np.ndarray:
+    """Worker body: forward one batch range through a private clone.
 
-    Holds a state-free :meth:`Sequential.worker_copy` of the donor, so
-    pickling to process workers ships only the weights — not whatever
-    forward/scratch caches the donor accumulated during training.  Each
-    call clones again because thread workers share this one object.
+    The published model object is shared by every task that lands on a
+    worker (and by every thread of the thread backend), so each call
+    clones it again — layers cache forward state and are not reentrant.
     """
-
-    def __init__(self, model: Sequential) -> None:
-        self.model = model.worker_copy()
-
-    def __call__(self, batch: np.ndarray) -> np.ndarray:
-        return self.model.worker_copy().forward(batch)
+    handle, start, stop = task
+    shared = handle.resolve()
+    model: Sequential = shared["model"]
+    return model.worker_copy().forward(shared["x"][start:stop])
 
 
 class MSELoss:
@@ -587,25 +603,37 @@ class Adam:
             param.value -= t
 
 
-class _GradChunk:
-    """Picklable task: loss + parameter gradients for one batch shard.
+class _GradShard:
+    """Picklable task: loss + parameter gradients for one index shard.
 
-    The chunked im2col GEMMs run on a :meth:`Sequential.worker_copy`
+    The training data rides in the worker context (published once per
+    worker); the weights must still ship per minibatch — they change
+    on every optimizer step — so the task holds a state-free
+    :meth:`Sequential.worker_copy` and the mapped items are just index
+    arrays.  The chunked im2col GEMMs run on a further per-call clone
     whose gradient buffers are private, so concurrent shards never
     write to shared memory; the parent accumulates the returned
     gradients in shard order.
     """
 
-    def __init__(self, model: Sequential, total_elements: int) -> None:
+    def __init__(self, model: Sequential, total_elements: int, data: object) -> None:
         # State-free copy: pickling to process workers ships only the
         # weights, not the donor's per-batch scratch caches.
         self.model = model.worker_copy()
         self.total_elements = total_elements
+        #: a SharedHandle to {"x", "y"}, or a direct (x, y) tuple on
+        #: the inline (no-executor / single-worker) path.
+        self.data = data
 
-    def __call__(
-        self, shard: tuple[np.ndarray, np.ndarray]
-    ) -> tuple[float, list[np.ndarray]]:
-        x_shard, y_shard = shard
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if isinstance(self.data, tuple):
+            return self.data
+        shared = self.data.resolve()
+        return shared["x"], shared["y"]
+
+    def __call__(self, idx: np.ndarray) -> tuple[float, list[np.ndarray]]:
+        x, y = self._arrays()
+        x_shard, y_shard = x[idx], y[idx]
         clone = self.model.worker_copy()
         prediction = clone.forward(x_shard)
         diff = prediction - y_shard
@@ -655,38 +683,56 @@ def fit(
     loss_fn = MSELoss()
     history: list[float] = []
     n = x.shape[0]
-    for epoch in range(epochs):
-        order = rng.permutation(n)
-        total = 0.0
-        batches = 0
-        for start in range(0, n, batch_size):
-            idx = order[start : start + batch_size]
-            optimizer.zero_grad()
-            if len(idx) <= grad_chunk_rows:
-                prediction = model.forward(x[idx])
-                loss = loss_fn.forward(prediction, y[idx])
-                model.backward(loss_fn.backward())
-            else:
-                x_batch, y_batch = x[idx], y[idx]
-                shards = [
-                    (x_batch[lo : lo + grad_chunk_rows], y_batch[lo : lo + grad_chunk_rows])
-                    for lo in range(0, len(idx), grad_chunk_rows)
-                ]
-                task = _GradChunk(model, int(y_batch.size))
-                if executor is None:
-                    results = [task(shard) for shard in shards]
+    #: y elements per sample, for the full-batch mean normalisation.
+    per_row = int(np.prod(y.shape[1:])) if y.ndim > 1 else 1
+    # When minibatches will shard across a parallel executor, publish
+    # the training data once — the per-batch maps then carry only the
+    # shard index arrays plus the (necessarily fresh) weights.
+    data: object = (x, y)
+    context = None
+    if (
+        executor is not None
+        and executor.workers > 1
+        and min(batch_size, n) > grad_chunk_rows
+    ):
+        context = executor.context
+        data = context.publish("nn.fit.data", {"x": x, "y": y})
+    try:
+        for epoch in range(epochs):
+            order = rng.permutation(n)
+            total = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                optimizer.zero_grad()
+                if len(idx) <= grad_chunk_rows:
+                    prediction = model.forward(x[idx])
+                    loss = loss_fn.forward(prediction, y[idx])
+                    model.backward(loss_fn.backward())
                 else:
-                    results = executor.map(task, shards)
-                loss = 0.0
-                for sse, grads in results:  # fixed order: bit-equal merge
-                    loss += sse
-                    for param, grad in zip(parameters, grads):
-                        param.grad += grad
-                loss /= y_batch.size
-            optimizer.step()
-            total += loss
-            batches += 1
-        history.append(total / max(batches, 1))
-        if verbose:  # pragma: no cover - diagnostic output
-            print(f"epoch {epoch + 1}/{epochs}: loss={history[-1]:.5f}")
+                    total_elements = len(idx) * per_row
+                    idx_shards = [
+                        idx[lo : lo + grad_chunk_rows]
+                        for lo in range(0, len(idx), grad_chunk_rows)
+                    ]
+                    task = _GradShard(model, total_elements, data)
+                    if executor is None:
+                        results = [task(shard) for shard in idx_shards]
+                    else:
+                        results = executor.map(task, idx_shards)
+                    loss = 0.0
+                    for sse, grads in results:  # fixed order: bit-equal merge
+                        loss += sse
+                        for param, grad in zip(parameters, grads):
+                            param.grad += grad
+                    loss /= total_elements
+                optimizer.step()
+                total += loss
+                batches += 1
+            history.append(total / max(batches, 1))
+            if verbose:  # pragma: no cover - diagnostic output
+                print(f"epoch {epoch + 1}/{epochs}: loss={history[-1]:.5f}")
+    finally:
+        if context is not None:
+            context.retire("nn.fit.data")
     return history

@@ -24,6 +24,7 @@ from repro.perf.recorder import (
     peak_rss_mb,
     phase,
     reset,
+    set_counter,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "peak_rss_mb",
     "phase",
     "reset",
+    "set_counter",
 ]

@@ -27,6 +27,7 @@ __all__ = [
     "peak_rss_mb",
     "phase",
     "reset",
+    "set_counter",
 ]
 
 
@@ -68,6 +69,15 @@ class PerfRecorder:
     def add_counter(self, name: str, value: int = 1) -> None:
         """Bump an integer counter (e.g. entries processed)."""
         self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Pin a counter to an absolute value (idempotent, unlike add).
+
+        For contract-style gauges — e.g. the runtime's
+        ``publishes_per_worker`` — where repeated events must not
+        accumulate.
+        """
+        self._counters[name] = value
 
     def reset(self) -> None:
         """Clear all recorded phases and counters."""
@@ -116,6 +126,11 @@ def phase(name: str) -> contextlib.AbstractContextManager[None]:
 def add_counter(name: str, value: int = 1) -> None:
     """Bump a counter on the default recorder."""
     _DEFAULT.add_counter(name, value)
+
+
+def set_counter(name: str, value: int) -> None:
+    """Pin a counter on the default recorder to an absolute value."""
+    _DEFAULT.set_counter(name, value)
 
 
 def reset() -> None:

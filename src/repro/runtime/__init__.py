@@ -1,13 +1,17 @@
-"""Pluggable execution runtime for the pipeline's hot phases.
+"""Pluggable execution runtime + the shared-state (WorkerContext) plane.
 
 The four §4 phases that dominate wall time — date crawling, vendor and
-product pair scoring, and network training/prediction — all map a pure
-function over shards of their work.  This package provides the shared
-:class:`Executor` abstraction they map through, with ``serial``,
-``thread`` and ``process`` backends selected via
+product pair scoring/confirmation, and network training/prediction —
+all map module-level worker functions over shards of their work.  This
+package provides the :class:`Executor` abstraction they map through
+(``serial``, ``thread`` and ``process`` backends, selected via
 :class:`repro.core.EngineConfig`, the ``REPRO_WORKERS`` /
-``REPRO_BACKEND`` environment variables, or the ``--workers`` flag on
-``python -m repro demo`` and ``tools/bench.py``.
+``REPRO_BACKEND`` environment variables, or ``--workers`` on
+``python -m repro demo`` and ``tools/bench.py``) and the
+:class:`WorkerContext` shared-state plane: large read-only inputs are
+``publish()``\\ ed once and referenced by :class:`SharedHandle` in the
+tasks, so the process backend ships them to each worker exactly once —
+through the pool initializer — instead of re-pickling them per shard.
 
 All backends are *bit-equivalent*: shard boundaries depend only on
 fixed chunk sizes and results reduce in input order, so a parallel run
@@ -15,6 +19,7 @@ produces exactly the bytes a serial run does (pinned by
 ``tests/test_perf_equivalence.py``).
 """
 
+from repro.runtime.context import SharedHandle, WorkerContext
 from repro.runtime.executor import (
     BACKENDS,
     Executor,
@@ -23,6 +28,7 @@ from repro.runtime.executor import (
     ThreadExecutor,
     chunked,
     make_executor,
+    map_published,
     map_shards,
     resolve_backend,
     resolve_workers,
@@ -33,9 +39,12 @@ __all__ = [
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",
+    "SharedHandle",
     "ThreadExecutor",
+    "WorkerContext",
     "chunked",
     "make_executor",
+    "map_published",
     "map_shards",
     "resolve_backend",
     "resolve_workers",

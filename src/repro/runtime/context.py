@@ -1,0 +1,190 @@
+"""Publish-once shared state for executor workers (the WorkerContext).
+
+The pipeline's shard tasks used to capture their big read-only inputs
+— the web corpus, a warm crawl cache, the snapshot's lookup indices,
+trained model weights — in closures, which the ``process`` backend then
+re-pickled into *every* shard task.  The :class:`WorkerContext` turns
+that into a publish/reference contract::
+
+    context = executor.context
+    handle = context.publish("dates.crawl", {"client": client, "cache": cache})
+    executor.map(_worker, [(handle, shard) for shard in shards])
+    context.retire("dates.crawl")
+
+and shard workers become module-level functions over ``(handle, shard)``
+tasks whose only context API is :meth:`SharedHandle.resolve`.
+
+Resolution is backend-aware:
+
+- in the publishing process (``serial``/``thread`` backends, and the
+  inline fast paths) a handle resolves to the published object itself —
+  a direct reference, so publishing costs one dict insert and
+  unpicklable objects (interactive oracles, open resources) still work;
+- in a ``process`` worker the executor ships the published set through
+  the pool *initializer*, so each worker process receives each object
+  **exactly once, at spawn** — never per task — and handles pickle as a
+  ``(context_id, name)`` pair resolved against the worker's installed
+  copy.
+
+Publishing or retiring bumps the context *generation*; a process pool
+spawned under an older generation is respawned before its next parallel
+map (see :class:`repro.runtime.executor.ProcessExecutor`), so workers
+always hold exactly the live published set.  Phases therefore publish
+what they need, map, and retire it, keeping later respawns from
+re-shipping state that is no longer referenced.
+
+Contexts register in a weak registry keyed by ``context_id``: handles
+stay valid for as long as someone (normally the owning executor) keeps
+the context alive, and a dropped context releases its published objects
+without any explicit cleanup call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import threading
+import weakref
+from typing import Any
+
+__all__ = ["SharedHandle", "WorkerContext"]
+
+#: contexts alive in this process, for parent-side handle resolution.
+_PARENT_CONTEXTS: "weakref.WeakValueDictionary[str, WorkerContext]" = (
+    weakref.WeakValueDictionary()
+)
+
+#: published sets installed into *worker* processes by the pool
+#: initializer (context_id -> {name: object}).
+_WORKER_STATE: dict[str, dict[str, Any]] = {}
+
+_CONTEXT_IDS = itertools.count(1)
+_CONTEXT_ID_LOCK = threading.Lock()
+
+
+def _next_context_id() -> str:
+    with _CONTEXT_ID_LOCK:
+        return f"ctx-{os.getpid()}-{next(_CONTEXT_IDS)}"
+
+
+def _install_worker_state(context_id: str, blob: bytes) -> None:
+    """Pool initializer: install a context's published set in a worker.
+
+    Runs exactly once per worker process — this is the "publish once"
+    half of the contract; per-task payloads carry only handles.
+    """
+    _WORKER_STATE[context_id] = pickle.loads(blob)
+
+
+class SharedHandle:
+    """A lightweight, picklable reference to one published object."""
+
+    __slots__ = ("context_id", "name")
+
+    def __init__(self, context_id: str, name: str) -> None:
+        self.context_id = context_id
+        self.name = name
+
+    def __getstate__(self) -> tuple[str, str]:
+        return (self.context_id, self.name)
+
+    def __setstate__(self, state: tuple[str, str]) -> None:
+        self.context_id, self.name = state
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"SharedHandle({self.context_id!r}, {self.name!r})"
+
+    def resolve(self) -> Any:
+        """The published object this handle names.
+
+        Worker-installed state wins (a process worker resolving against
+        its spawn-time copy); otherwise the live parent context answers
+        with a direct reference.
+        """
+        state = _WORKER_STATE.get(self.context_id)
+        if state is not None and self.name in state:
+            return state[self.name]
+        context = _PARENT_CONTEXTS.get(self.context_id)
+        if context is not None:
+            return context.get(self.name)
+        raise LookupError(
+            f"shared object {self.name!r} of context {self.context_id!r} is "
+            "not available here (the context was dropped, or this process "
+            "never received its published set)"
+        )
+
+
+class WorkerContext:
+    """A named set of published read-only objects, shipped once per worker."""
+
+    def __init__(self) -> None:
+        self.context_id = _next_context_id()
+        self._objects: dict[str, Any] = {}
+        #: bumped on every publish/retire; process pools spawned under
+        #: an older generation respawn before their next parallel map.
+        self.generation = 0
+        _PARENT_CONTEXTS[self.context_id] = self
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def names(self) -> list[str]:
+        return sorted(self._objects)
+
+    def publish(self, name: str, obj: Any) -> SharedHandle:
+        """Publish ``obj`` under ``name``; returns its handle.
+
+        Re-publishing a name replaces the object (and bumps the
+        generation), which is how repeated phases refresh their state.
+        """
+        self._objects[name] = obj
+        self.generation += 1
+        return SharedHandle(self.context_id, name)
+
+    def retire(self, name: str) -> None:
+        """Drop a published object so later pool spawns stop shipping it."""
+        if self._objects.pop(name, None) is not None:
+            self.generation += 1
+
+    def handle(self, name: str) -> SharedHandle:
+        """A handle for an already-published name."""
+        if name not in self._objects:
+            raise LookupError(f"no published object {name!r} in {self.context_id}")
+        return SharedHandle(self.context_id, name)
+
+    def get(self, name: str) -> Any:
+        """Parent-side resolution: the published object itself."""
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise LookupError(
+                f"no published object {name!r} in context {self.context_id} "
+                f"(published: {self.names()})"
+            ) from None
+
+    def payload_blob(self) -> bytes:
+        """The pickled published set, as shipped to each worker once.
+
+        Raises a clear :class:`ValueError` naming the offending object
+        when something published cannot be pickled — the process backend
+        must fail loudly, not with a bare pickling traceback.
+        """
+        try:
+            return pickle.dumps(self._objects, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            for name, obj in self._objects.items():
+                try:
+                    pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+                except Exception as error:
+                    raise ValueError(
+                        f"published object {name!r} cannot be shipped to "
+                        f"process workers ({error}); the process backend "
+                        "needs picklable published state — use a "
+                        "module-level callable instead of a lambda/closure, "
+                        "or the thread/serial backend"
+                    ) from None
+            raise

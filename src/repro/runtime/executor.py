@@ -13,6 +13,15 @@ same contract:
   wins for pure-Python CPU work (pair scoring, page parsing) at the
   cost of pickling the work items.
 
+Every executor owns a :class:`repro.runtime.context.WorkerContext` —
+the shared-state plane.  Callers ``publish()`` large read-only objects
+(corpus, crawl cache, lookup indices, model weights) into the context
+and pass :class:`SharedHandle`\\ s in their tasks; the process backend
+ships the published set to each worker process exactly once, through
+the pool initializer, and respawns the pool when the published set
+changes.  The serial/thread backends resolve handles to direct
+references, so publishing there is free.
+
 Determinism contract: callers shard work into chunks whose boundaries
 depend only on a fixed chunk size (never on the worker count) via
 :func:`chunked`, and reduce the mapped results in input order.  Because
@@ -24,14 +33,32 @@ reduction order is fixed, ``thread`` and ``process`` runs are
 Backend and worker count resolve from (in priority order) explicit
 arguments, the ``REPRO_WORKERS`` / ``REPRO_BACKEND`` environment
 variables, and the serial single-worker default.
+
+Perf counters (recorded on the default :mod:`repro.perf` recorder, so
+``tools/bench.py`` picks them up):
+
+- ``runtime.publish_bytes`` — pickled bytes of published state shipped
+  across worker spawns (blob size × workers per spawn event);
+- ``runtime.publish_shipments`` — object→worker deliveries;
+- ``runtime.worker_spawns`` — worker processes spawned;
+- ``runtime.publishes_per_worker`` — how often each worker receives
+  each published object: always 1, because shipping happens only in
+  the per-process pool initializer;
+- ``runtime.task_payload_bytes`` / ``runtime.tasks`` — pickled bytes
+  and count of per-task payloads on process maps (handles + shards,
+  now that the fat state rides in the context).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
+import pickle
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
+
+from repro import perf
+from repro.runtime.context import SharedHandle, WorkerContext, _install_worker_state
 
 __all__ = [
     "BACKENDS",
@@ -41,6 +68,7 @@ __all__ = [
     "ThreadExecutor",
     "chunked",
     "make_executor",
+    "map_published",
     "map_shards",
     "resolve_backend",
     "resolve_workers",
@@ -124,14 +152,61 @@ def map_shards(
     return executor.map(fn, chunked(items, chunk_size))
 
 
+def map_published(
+    executor: "Executor | None",
+    fn: Callable[[tuple[SharedHandle, Sequence[T]]], R],
+    name: str,
+    shared: Any,
+    items: Sequence[T],
+    chunk_size: int,
+) -> list[R]:
+    """Publish ``shared`` once, map ``fn`` over ``(handle, shard)`` tasks.
+
+    The shared-state counterpart of :func:`map_shards`, with the same
+    determinism contract: shard boundaries come from :func:`chunked`
+    and results return in shard order.  ``shared`` is published under
+    ``name`` on the executor's context for the duration of the map —
+    shipped once per process worker, a direct reference everywhere
+    else — and retired afterwards so later pool spawns stop carrying
+    it.  With no executor, one worker, or a single shard, ``fn`` runs
+    inline on ``items`` whole through a private context: the identical
+    worker code path, just unsplit.
+    """
+    if executor is None:
+        context = WorkerContext()  # kept alive by this frame while fn runs
+        return [fn((context.publish(name, shared), items))]
+    context = executor.context
+    handle = context.publish(name, shared)
+    try:
+        if executor.workers <= 1 or len(items) <= chunk_size:
+            return [fn((handle, items))]
+        return executor.map(
+            fn, [(handle, shard) for shard in chunked(items, chunk_size)]
+        )
+    finally:
+        context.retire(name)
+
+
 class Executor:
     """Maps a function over work items, preserving input order."""
 
     #: backend name, one of :data:`BACKENDS`.
     backend: str = "serial"
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, context: WorkerContext | None = None) -> None:
         self.workers = max(1, int(workers))
+        self._context = context
+
+    @property
+    def context(self) -> WorkerContext:
+        """The executor's shared-state plane (created lazily)."""
+        if self._context is None:
+            self._context = WorkerContext()
+        return self._context
+
+    def publish(self, name: str, obj: Any) -> SharedHandle:
+        """Shorthand for ``executor.context.publish(name, obj)``."""
+        return self.context.publish(name, obj)
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """``[fn(item) for item in items]`` — possibly in parallel.
@@ -143,7 +218,11 @@ class Executor:
         raise NotImplementedError  # pragma: no cover - abstract
 
     def close(self) -> None:
-        """Release pooled workers (no-op for the serial backend)."""
+        """Release pooled workers (no-op for the serial backend).
+
+        Idempotent, and not terminal: a later map re-spawns the pool,
+        so eager close() calls are always safe.
+        """
 
     def __enter__(self) -> "Executor":
         return self
@@ -160,8 +239,8 @@ class SerialExecutor(Executor):
 
     backend = "serial"
 
-    def __init__(self, workers: int = 1) -> None:
-        super().__init__(1)
+    def __init__(self, workers: int = 1, context: WorkerContext | None = None) -> None:
+        super().__init__(1, context)
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         return [fn(item) for item in items]
@@ -170,16 +249,20 @@ class SerialExecutor(Executor):
 class _PooledExecutor(Executor):
     """Shared lazy-pool plumbing for the thread and process backends."""
 
-    def __init__(self, workers: int = 2) -> None:
-        super().__init__(workers)
+    def __init__(self, workers: int = 2, context: WorkerContext | None = None) -> None:
+        super().__init__(workers, context)
         self._pool: concurrent.futures.Executor | None = None
 
     def _make_pool(self) -> concurrent.futures.Executor:
         raise NotImplementedError  # pragma: no cover - abstract
 
+    def _before_map(self, fn: Callable[[T], R], items: Sequence[T]) -> None:
+        """Backend hook, called only when the map will use the pool."""
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         if self.workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        self._before_map(fn, items)
         if self._pool is None:
             self._pool = self._make_pool()
         return list(self._pool.map(fn, items))
@@ -191,7 +274,12 @@ class _PooledExecutor(Executor):
 
 
 class ThreadExecutor(_PooledExecutor):
-    """Thread-pool backend — for GIL-releasing or blocking work."""
+    """Thread-pool backend — for GIL-releasing or blocking work.
+
+    Shared-state handles resolve to direct references here (workers
+    live in the publishing process), so publishing costs nothing and
+    unpicklable objects remain usable.
+    """
 
     backend = "thread"
 
@@ -205,14 +293,88 @@ class ProcessExecutor(_PooledExecutor):
     """Process-pool backend — for pure-Python CPU-bound work.
 
     The mapped function and its items must be picklable (module-level
-    functions over plain data).  Worker processes are spawned lazily on
-    the first parallel map and reused until :meth:`close`.
+    functions over plain data); large read-only state should be
+    ``publish()``\\ ed on the executor's context instead of captured in
+    closures — the pool initializer installs the published set into
+    each worker process exactly once, at spawn, and per-task payloads
+    carry only handles and shards.
+
+    When the published set changes after the pool spawned (a later
+    phase publishing its state), the pool respawns before the next
+    parallel map so workers always hold the live set; each worker
+    process still receives each object once.  Worker processes spawn
+    lazily on the first parallel map and are reused until
+    :meth:`close`.
     """
 
     backend = "process"
 
+    def __init__(self, workers: int = 2, context: WorkerContext | None = None) -> None:
+        super().__init__(workers, context)
+        self._pool_generation = -1
+
     def _make_pool(self) -> concurrent.futures.Executor:
-        return concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+        context = self.context
+        initializer = None
+        initargs: tuple[Any, ...] = ()
+        if len(context):
+            blob = context.payload_blob()  # ValueError names unpicklable objects
+            initializer = _install_worker_state
+            initargs = (context.context_id, blob)
+            perf.add_counter("runtime.publish_bytes", len(blob) * self.workers)
+            perf.add_counter(
+                "runtime.publish_shipments", len(context) * self.workers
+            )
+            # Shipping happens only in the per-process initializer, so
+            # by construction every worker receives every published
+            # object exactly once — the counter pins the contract.
+            perf.get_recorder().set_counter("runtime.publishes_per_worker", 1)
+        perf.add_counter("runtime.worker_spawns", self.workers)
+        self._pool_generation = context.generation
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers, initializer=initializer, initargs=initargs
+        )
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of live pool workers (empty before the pool spawns).
+
+        Best-effort introspection for owners that need to signal their
+        workers — e.g. the multi-process serving front end forwarding
+        SIGINT on shutdown.
+        """
+        if self._pool is None:
+            return []
+        processes = getattr(self._pool, "_processes", None) or {}
+        return [
+            process.pid
+            for process in processes.values()
+            if process.pid is not None and process.is_alive()
+        ]
+
+    def _before_map(self, fn: Callable[[T], R], items: Sequence[T]) -> None:
+        if self._pool is not None and self._pool_generation != self.context.generation:
+            self.close()  # stale published set: respawn ships the live one
+        # Measuring doubles the item pickling and adds one fn pickle per
+        # map — bounded by 1/len(items) of the pool's own fn shipping,
+        # and cheap in absolute terms now that tasks carry handles plus
+        # shards instead of the published state.  It also doubles as
+        # the early picklability check behind the clear error below.
+        try:
+            fn_bytes = len(pickle.dumps(fn, pickle.HIGHEST_PROTOCOL))
+            item_bytes = sum(
+                len(pickle.dumps(item, pickle.HIGHEST_PROTOCOL)) for item in items
+            )
+        except Exception as error:
+            raise ValueError(
+                "cannot ship work to process workers: the mapped function or "
+                f"a task is not picklable ({error}); publish() shared state "
+                "on the executor context and pass handles, use module-level "
+                "worker functions, or pick the thread backend"
+            ) from error
+        perf.add_counter(
+            "runtime.task_payload_bytes", fn_bytes * len(items) + item_bytes
+        )
+        perf.add_counter("runtime.tasks", len(items))
 
 
 _BACKEND_CLASSES: dict[str, type[Executor]] = {
@@ -223,15 +385,18 @@ _BACKEND_CLASSES: dict[str, type[Executor]] = {
 
 
 def make_executor(
-    workers: int | None = None, backend: str | None = None
+    workers: int | None = None,
+    backend: str | None = None,
+    context: WorkerContext | None = None,
 ) -> Executor:
     """Build the configured executor.
 
     ``workers`` / ``backend`` default through ``REPRO_WORKERS`` /
     ``REPRO_BACKEND`` (see :func:`resolve_workers` and
     :func:`resolve_backend`).  ``make_executor()`` with no arguments and
-    no environment overrides returns the serial reference backend.
+    no environment overrides returns the serial reference backend.  A
+    ``context`` lets callers share one worker context across executors.
     """
     count = resolve_workers(workers)
     name = resolve_backend(backend, count)
-    return _BACKEND_CLASSES[name](count)
+    return _BACKEND_CLASSES[name](count, context)

@@ -17,12 +17,25 @@ Endpoints::
     GET  /v1/product/<vendor>/<product>   consolidated product view
     POST /v1/severity/predict             §4.3 prediction for a posted body
 
+The vendor and product views page their id lists: ``?offset=N`` and
+``?limit=N`` (1..500, default 500) select a window, ``next_offset`` in
+the response names the next page (``null`` when the list is done), and
+``n_cves`` always carries the full count — nothing truncates silently.
+
 Hot swap: at most once per ``reload_interval`` seconds the service
 re-reads the store's ``CURRENT`` pointer; when it names a different
 version (after ``python -m repro ingest``), the new version loads and
 the state reference swaps atomically — in-flight requests finish on
 the old state, the response cache clears, and ``swaps`` increments in
 ``/v1/metrics``.
+
+Multi-process serving: ``serve(root, workers=N)`` (``python -m repro
+serve --workers N``) reuses the runtime's shared-state plane — the
+serving config is published on a :class:`repro.runtime.ProcessExecutor`
+context and each module-level :func:`_serve_worker` task cold-starts
+its own server from the multi-reader-safe artifact store, all bound to
+one port via ``SO_REUSEPORT`` so the kernel load-balances connections
+across the processes.
 """
 
 from __future__ import annotations
@@ -32,12 +45,15 @@ import http.server
 import json
 import os
 import pathlib
+import signal
+import socket
 import threading
 import time
 import urllib.parse
 
 from repro.artifacts import ArtifactError, read_current
-from repro.service.state import ServiceError, ServiceState
+from repro.runtime import ProcessExecutor, SharedHandle, resolve_workers
+from repro.service.state import MAX_IDS, ServiceError, ServiceState
 
 __all__ = ["ApiHandler", "NvdService", "create_server", "serve"]
 
@@ -45,6 +61,38 @@ SERVICE_NAME = "repro-nvd-service/1"
 
 #: GET routes whose responses are cacheable (per loaded version).
 _CACHEABLE_PREFIXES = ("/v1/stats", "/v1/cve/", "/v1/vendor/", "/v1/product/")
+
+#: query parameters any route consumes — the only ones that can change
+#: a response, and therefore the only ones allowed into cache keys.
+_QUERY_PARAMS = frozenset({"offset", "limit"})
+
+
+def _int_param(
+    params: dict[str, list[str]],
+    name: str,
+    default: int,
+    minimum: int,
+    maximum: int | None = None,
+) -> int:
+    """A validated integer query parameter (400 on anything off)."""
+    values = params.get(name)
+    if not values:
+        return default
+    raw = values[-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ServiceError(
+            400, f"query parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
+    if value < minimum or (maximum is not None and value > maximum):
+        bounds = f">= {minimum}"
+        if maximum is not None:
+            bounds += f" and <= {maximum}"
+        raise ServiceError(
+            400, f"query parameter {name!r} must be {bounds}, got {value}"
+        )
+    return value
 
 
 class ResponseCache:
@@ -164,12 +212,26 @@ class NvdService:
         # data under the new one.
         state = self._state
         self._bump("requests_total")
-        path = path.partition("?")[0]
+        path, _, query = path.partition("?")
+        params = urllib.parse.parse_qs(query)
         cacheable = method == "GET" and any(
             path == prefix or path.startswith(prefix)
             for prefix in _CACHEABLE_PREFIXES
         )
-        cache_key = f"{state.version}:{path}"
+        # The canonical query joins the cache key: paginated pages of
+        # one resource cache as distinct entries, never each other.
+        # Only parameters a route consumes participate — dispatch
+        # ignores the rest, so junk params must not mint fresh LRU
+        # entries (and evict real ones) for identical responses.
+        canonical_query = urllib.parse.urlencode(
+            sorted(
+                (key, value)
+                for key, values in params.items()
+                if key in _QUERY_PARAMS
+                for value in values
+            )
+        )
+        cache_key = f"{state.version}:{path}?{canonical_query}"
         if cacheable:
             cached = self._cache.get(cache_key)
             if cached is not None:
@@ -178,7 +240,7 @@ class NvdService:
                 return cached
             self._bump("cache_misses")
         try:
-            status, payload = self._dispatch(state, method, path, body)
+            status, payload = self._dispatch(state, method, path, params, body)
         except ServiceError as error:
             status, payload = error.status, {"error": error.message}
         except Exception as error:  # never let a bug kill the worker thread
@@ -191,7 +253,12 @@ class NvdService:
         return response
 
     def _dispatch(
-        self, state: ServiceState, method: str, path: str, body: bytes | None
+        self,
+        state: ServiceState,
+        method: str,
+        path: str,
+        params: dict[str, list[str]],
+        body: bytes | None,
     ) -> tuple[int, object]:
         parts = [urllib.parse.unquote(part) for part in path.split("/") if part]
         if method == "GET":
@@ -214,10 +281,16 @@ class NvdService:
                 return 200, state.cve_payload(parts[2])
             if len(parts) == 3 and parts[:2] == ["v1", "vendor"]:
                 self._bump("endpoint_vendor")
-                return 200, state.vendor_payload(parts[2])
+                offset = _int_param(params, "offset", 0, minimum=0)
+                limit = _int_param(params, "limit", MAX_IDS, minimum=1, maximum=MAX_IDS)
+                return 200, state.vendor_payload(parts[2], offset=offset, limit=limit)
             if len(parts) == 4 and parts[:2] == ["v1", "product"]:
                 self._bump("endpoint_product")
-                return 200, state.product_payload(parts[2], parts[3])
+                offset = _int_param(params, "offset", 0, minimum=0)
+                limit = _int_param(params, "limit", MAX_IDS, minimum=1, maximum=MAX_IDS)
+                return 200, state.product_payload(
+                    parts[2], parts[3], offset=offset, limit=limit
+                )
         elif method == "POST" and path == "/v1/severity/predict":
             self._bump("endpoint_predict")
             if not body:
@@ -275,9 +348,25 @@ class ApiHandler(http.server.BaseHTTPRequestHandler):
 class _ServiceServer(http.server.ThreadingHTTPServer):
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: NvdService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: NvdService,
+        reuse_port: bool = False,
+    ) -> None:
+        # Must be set before super().__init__ binds the socket.
+        self._reuse_port = bool(reuse_port)
+        self.allow_reuse_port = self._reuse_port
         super().__init__(address, ApiHandler)
         self.service = service
+
+    def server_bind(self) -> None:
+        # socketserver honours allow_reuse_port only on Python 3.11+;
+        # set the option directly so 3.10 multi-process serving binds
+        # the shared port too.
+        if self._reuse_port and hasattr(socket, "SO_REUSEPORT"):
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
 
 def create_server(
@@ -288,11 +377,15 @@ def create_server(
     version: str | None = None,
     cache_size: int = 1024,
     reload_interval: float = 1.0,
+    reuse_port: bool = False,
 ) -> _ServiceServer:
     """Cold-start a server from an artifact store (no retraining).
 
     ``port=0`` binds an ephemeral port (see ``server.server_address``);
-    call ``serve_forever()`` to run.
+    call ``serve_forever()`` to run.  ``reuse_port=True`` binds with
+    ``SO_REUSEPORT`` so several server processes can share one port —
+    the kernel load-balances incoming connections across them (the
+    multi-process serving path).
     """
     service = NvdService(
         root,
@@ -300,7 +393,115 @@ def create_server(
         cache_size=cache_size,
         reload_interval=reload_interval,
     )
-    return _ServiceServer((host, port), service)
+    return _ServiceServer((host, port), service, reuse_port=reuse_port)
+
+
+def _serve_worker(task: tuple[SharedHandle, int]) -> int:
+    """Worker body: one request-serving process.
+
+    The serving config resolves from the shared-state handle (shipped
+    once per worker); each worker cold-starts its own state from the
+    multi-reader-safe artifact store, binds the shared port with
+    ``SO_REUSEPORT``, and polls ``CURRENT`` for hot swaps on its own.
+    """
+    handle, index = task
+    config = handle.resolve()
+    try:
+        server = create_server(
+            config["root"],
+            config["host"],
+            config["port"],
+            version=config["version"],
+            reload_interval=config["reload_interval"],
+            reuse_port=True,
+        )
+    except Exception as error:
+        # The parent blocks on worker 0's never-returning task and
+        # cannot observe this future until shutdown — print here so a
+        # failed worker (bad store, port clash) is visible immediately,
+        # then re-raise so the parent's exit code turns nonzero.
+        print(f"[serve] worker {index} failed to start: {error}", flush=True)
+        raise
+    state = server.service.state
+    print(
+        f"[serve] worker {index}: version {state.version}, "
+        f"{state.stats['n_cves']} CVEs, model {state.model_used}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return index
+
+
+def _serve_multiprocess(
+    root: str | os.PathLike[str],
+    host: str,
+    port: int,
+    workers: int,
+    *,
+    version: str | None,
+    reload_interval: float,
+) -> int:
+    """Fan request handling across ``workers`` processes on one port."""
+    if not hasattr(socket, "SO_REUSEPORT"):
+        raise ValueError(
+            "multi-process serving needs SO_REUSEPORT (Linux/BSD); "
+            "run with --workers 1 on this platform"
+        )
+    placeholder = None
+    if port == 0:
+        # Reserve an ephemeral port every worker can share.  The
+        # placeholder stays bound but never listens, so it joins no
+        # load-balancing group — it only keeps the number stable.
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        placeholder.bind((host, 0))
+        port = placeholder.getsockname()[1]
+    executor = ProcessExecutor(workers)
+    handle = executor.publish(
+        "service.config",
+        {
+            "root": os.fspath(root),
+            "host": host,
+            "port": port,
+            "version": version,
+            "reload_interval": reload_interval,
+        },
+    )
+    print(
+        f"[serve] {SERVICE_NAME} on http://{host}:{port} — "
+        f"{workers} worker processes (SO_REUSEPORT) over {root}",
+        flush=True,
+    )
+    try:
+        executor.map(_serve_worker, [(handle, index) for index in range(workers)])
+    except KeyboardInterrupt:
+        print("[serve] shutting down")
+        # Workers spawned from a terminal already share the SIGINT; a
+        # parent stopped any other way forwards it so serve_forever
+        # unwinds in every worker before the pool drains.
+        for pid in executor.worker_pids():
+            try:
+                os.kill(pid, signal.SIGINT)
+            except OSError:
+                pass
+    except Exception as error:
+        # A worker died (its own stdout carries the detail); the
+        # service is degraded or down, so fail the command.
+        print(f"[serve] worker failed: {error}", flush=True)
+        return 1
+    finally:
+        try:
+            executor.close()
+        except Exception:
+            pass  # tearing down anyway; a worker killed mid-task is fine
+        if placeholder is not None:
+            placeholder.close()
+    return 0
 
 
 def serve(
@@ -310,8 +511,19 @@ def serve(
     *,
     version: str | None = None,
     reload_interval: float = 1.0,
+    workers: int | None = None,
 ) -> int:
-    """Run the service until interrupted (the ``repro serve`` command)."""
+    """Run the service until interrupted (the ``repro serve`` command).
+
+    ``workers`` (default: the ``REPRO_WORKERS`` environment variable,
+    i.e. 1) selects single-process threading or the multi-process
+    ``SO_REUSEPORT`` plane.
+    """
+    count = resolve_workers(workers)
+    if count > 1:
+        return _serve_multiprocess(
+            root, host, port, count, version=version, reload_interval=reload_interval
+        )
     server = create_server(
         root, host, port, version=version, reload_interval=reload_interval
     )

@@ -34,9 +34,31 @@ from repro.runtime import SerialExecutor
 
 __all__ = ["ServiceError", "ServiceState"]
 
-#: cap on id lists in vendor/product payloads (keeps responses bounded
-#: at paper scale; ``truncated`` flags when the cap bites).
+#: cap on one page of ids in vendor/product payloads (keeps responses
+#: bounded at paper scale); ``offset``/``limit`` query parameters page
+#: through the rest, with ``next_offset`` naming the next page.
 MAX_IDS = 500
+
+
+def _page(ids: list[str], offset: int, limit: int) -> dict:
+    """The shared pagination fields over a full id list.
+
+    ``truncated`` is kept for pre-pagination clients; it now means
+    "this response does not carry the whole list" — true on *any*
+    partial window (including the final page of an ``offset`` walk),
+    and never a silent cut, since ``next_offset`` says where the rest
+    starts.
+    """
+    page = ids[offset : offset + limit]
+    next_offset = offset + limit if offset + limit < len(ids) else None
+    return {
+        "n_cves": len(ids),
+        "cve_ids": page,
+        "offset": offset,
+        "limit": limit,
+        "next_offset": next_offset,
+        "truncated": len(page) < len(ids),
+    }
 
 
 class ServiceError(Exception):
@@ -124,7 +146,9 @@ class ServiceState:
             payload["v3_backported"] = not entry.has_v3
         return payload
 
-    def vendor_payload(self, name: str) -> dict:
+    def vendor_payload(
+        self, name: str, offset: int = 0, limit: int = MAX_IDS
+    ) -> dict:
         canonical = self.artifacts.vendor_map.get(name, name)
         entries = self.snapshot.by_vendor(canonical)
         if not entries:
@@ -142,13 +166,13 @@ class ServiceState:
             "vendor": canonical,
             "queried": name,
             "aliases": self.vendor_aliases.get(canonical, []),
-            "n_cves": len(ids),
-            "cve_ids": ids[:MAX_IDS],
-            "truncated": len(ids) > MAX_IDS,
+            **_page(ids, offset, limit),
             "products": products,
         }
 
-    def product_payload(self, vendor: str, product: str) -> dict:
+    def product_payload(
+        self, vendor: str, product: str, offset: int = 0, limit: int = MAX_IDS
+    ) -> dict:
         canonical_vendor = self.artifacts.vendor_map.get(vendor, vendor)
         canonical_product = self.artifacts.product_map.get(
             (canonical_vendor, product), product
@@ -166,9 +190,7 @@ class ServiceState:
             "vendor": canonical_vendor,
             "product": canonical_product,
             "queried": [vendor, product],
-            "n_cves": len(ids),
-            "cve_ids": ids[:MAX_IDS],
-            "truncated": len(ids) > MAX_IDS,
+            **_page(ids, offset, limit),
         }
 
     def predict_payload(self, body: object) -> dict:

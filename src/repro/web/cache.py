@@ -21,9 +21,10 @@ foreign-schema files are treated as empty rather than fatal — a cache
 must never be able to break a pipeline run.
 
 Worker processes cannot share one file handle, so the cache separates
-*lookup* state (the full entry map, pickled to workers read-only) from
-*new* entries accumulated during a run: :meth:`new_entries` on each
-worker's copy feeds :meth:`merge` on the parent's, which then
+*lookup* state (the full entry map, published to workers read-only)
+from *new* entries accumulated during a run: :meth:`take_new` on each
+worker's copy drains that shard's additions into its result, the
+parent's :meth:`merge` folds them back in, and the parent
 :meth:`save`\\ s once.
 """
 
@@ -177,11 +178,36 @@ class CrawlCache:
     # -- worker merging ------------------------------------------------------
 
     def new_entries(self) -> dict[str, tuple[str, datetime.date | None]]:
-        """Entries added since load/merge (a worker's contribution)."""
+        """Entries added since load/save (a worker's contribution)."""
         return dict(self._new)
 
+    def take_new(self) -> dict[str, tuple[str, datetime.date | None]]:
+        """Drain and return the new entries (a shard's contribution).
+
+        Unlike :meth:`new_entries` this removes what it returns, so a
+        worker-resident cache that serves many shards hands each shard
+        only *its* additions instead of re-shipping the cumulative set
+        with every result (the process backend installs one cache copy
+        per worker).  Draining via ``popitem`` keeps concurrent takers
+        on a thread-shared cache lossless: every addition is taken by
+        exactly one shard and restored by the parent's :meth:`merge`.
+        """
+        taken: dict[str, tuple[str, datetime.date | None]] = {}
+        while self._new:
+            url, entry = self._new.popitem()
+            taken[url] = entry
+        return taken
+
     def merge(self, entries: dict[str, tuple[str, datetime.date | None]]) -> None:
-        """Fold a worker's :meth:`new_entries` into this cache."""
+        """Fold a worker's :meth:`take_new`/:meth:`new_entries` into this cache.
+
+        An entry may already be *stored* here yet missing from the
+        new-entry set — on the thread backend workers share this very
+        object, so a shard's ``take_new()`` drained it from our own
+        bookkeeping.  Re-registering keeps :meth:`save` aware of it;
+        merged entries are always this run's scrapes, never disk-loaded
+        ones, so the file rewrite they trigger is wanted.
+        """
         for url, (outcome, date) in entries.items():
-            if url not in self._entries:
+            if url not in self._entries or url not in self._new:
                 self.put(url, outcome, date)

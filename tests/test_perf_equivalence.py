@@ -19,6 +19,7 @@ import hashlib
 import numpy as np
 import pytest
 
+from repro.core import clean, from_ground_truth, product_oracle_from_truth
 from repro.core.dates import estimate_all
 from repro.core.products import product_candidate_pairs
 from repro.core.severity import EngineConfig, SeverityPredictionEngine
@@ -410,6 +411,65 @@ class TestBackendEquivalence:
         with executor_cls(2) as executor:
             parallel = model.predict(x, batch_size=64, executor=executor)
         assert np.array_equal(parallel, serial)
+
+    @pytest.fixture(scope="class")
+    def scale_002_bundle(self):
+        """The paper's snapshot at REPRO_SCALE=0.02 (2144 CVEs)."""
+        from repro.experiments import PAPER_SCALE_CVES
+        from repro.synth import GeneratorConfig, generate
+
+        return generate(
+            GeneratorConfig(n_cves=int(PAPER_SCALE_CVES * 0.02), seed=2018)
+        )
+
+    @pytest.fixture(scope="class")
+    def scale_002_serial(self, scale_002_bundle):
+        return self._clean(scale_002_bundle, SerialExecutor())
+
+    @staticmethod
+    def _clean(bundle, executor):
+        with executor:
+            return clean(
+                bundle.snapshot,
+                bundle.web,
+                from_ground_truth(bundle.truth.vendor_map),
+                product_oracle_from_truth(bundle.truth.product_map),
+                engine_config=EngineConfig(epochs=2, models=("lr", "dnn")),
+                executor=executor,
+            )
+
+    @pytest.mark.parametrize("executor_cls", [ThreadExecutor, ProcessExecutor])
+    def test_full_clean_through_worker_context(
+        self, scale_002_bundle, scale_002_serial, executor_cls
+    ):
+        """The whole pipeline — every phase through the shared-state
+        plane — stays bit-identical to serial on both pooled backends."""
+        serial = scale_002_serial
+        parallel = self._clean(scale_002_bundle, executor_cls(2))
+        assert parallel.report == serial.report
+        assert parallel.estimates == serial.estimates
+        assert parallel.vendor_analysis.mapping == serial.vendor_analysis.mapping
+        assert parallel.vendor_analysis.confirmed == serial.vendor_analysis.confirmed
+        assert parallel.product_analysis.mapping == serial.product_analysis.mapping
+        assert parallel.product_analysis.confirmed == serial.product_analysis.confirmed
+        assert parallel.pv3_scores == serial.pv3_scores  # exact float equality
+        assert parallel.pv3_severity == serial.pv3_severity
+        assert list(parallel.snapshot) == list(serial.snapshot)
+
+    def test_process_backend_rejects_unpicklable_oracles(self, scale_002_bundle):
+        """clean() names the offending oracle instead of a pickling
+        traceback (the §4.2 confirmation ships oracles to workers)."""
+        bundle = scale_002_bundle
+        with ProcessExecutor(2) as executor:
+            with pytest.raises(ValueError, match="confirm_vendor"):
+                clean(
+                    bundle.snapshot,
+                    bundle.web,
+                    lambda a, b: True,  # closures cannot reach process workers
+                    product_oracle_from_truth(bundle.truth.product_map),
+                    engine_config=EngineConfig(epochs=1, models=("lr",)),
+                    executor=executor,
+                )
 
     @BACKEND_EXECUTORS
     def test_chunked_gradient_fit(self, executor_cls):

@@ -1,0 +1,218 @@
+"""The shared-state (WorkerContext) plane of the execution runtime."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import perf
+from repro.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedHandle,
+    ThreadExecutor,
+    WorkerContext,
+    map_published,
+)
+
+
+def _add_base(task):  # module-level: picklable for process maps
+    handle, shard = task
+    base = handle.resolve()["base"]
+    return [base + item for item in shard]
+
+
+def _resolve_marker(task):
+    handle, _ = task
+    return handle.resolve()["marker"]
+
+
+class TestWorkerContext:
+    def test_publish_get_handle_roundtrip(self):
+        context = WorkerContext()
+        payload = {"x": 1}
+        handle = context.publish("thing", payload)
+        assert context.get("thing") is payload
+        assert handle.resolve() is payload
+        assert context.handle("thing").resolve() is payload
+        assert "thing" in context and len(context) == 1
+
+    def test_publish_bumps_generation_and_replaces(self):
+        context = WorkerContext()
+        before = context.generation
+        context.publish("a", 1)
+        context.publish("a", 2)
+        assert context.get("a") == 2
+        assert context.generation == before + 2
+
+    def test_retire_drops_and_bumps_generation(self):
+        context = WorkerContext()
+        context.publish("a", 1)
+        generation = context.generation
+        context.retire("a")
+        assert context.generation == generation + 1
+        with pytest.raises(LookupError, match="no published object"):
+            context.get("a")
+        context.retire("a")  # retiring an absent name is a no-op
+        assert context.generation == generation + 1
+
+    def test_handle_for_unknown_name(self):
+        context = WorkerContext()
+        with pytest.raises(LookupError):
+            context.handle("missing")
+
+    def test_handle_pickles_small(self):
+        context = WorkerContext()
+        handle = context.publish("big", list(range(100_000)))
+        blob = pickle.dumps(handle)
+        assert len(blob) < 200  # the handle never carries the object
+        assert pickle.loads(blob).resolve() is context.get("big")
+
+    def test_resolve_after_context_dropped(self):
+        handle = WorkerContext().publish("gone", object())
+        with pytest.raises(LookupError, match="not available"):
+            handle.resolve()
+
+    def test_unpicklable_payload_named_in_error(self):
+        context = WorkerContext()
+        context.publish("fine", [1, 2])
+        context.publish("oracle", lambda a, b: True)
+        with pytest.raises(ValueError, match="'oracle'"):
+            context.payload_blob()
+
+
+class TestExecutorContext:
+    def test_context_is_lazy_and_sticky(self):
+        executor = SerialExecutor()
+        context = executor.context
+        assert executor.context is context
+
+    def test_injected_context_is_shared(self):
+        context = WorkerContext()
+        executor = ThreadExecutor(2, context=context)
+        assert executor.context is context
+        executor.close()
+
+    def test_publish_shorthand(self):
+        executor = SerialExecutor()
+        handle = executor.publish("n", 5)
+        assert handle.resolve() == 5
+
+
+class TestMapPublished:
+    ITEMS = list(range(10))
+
+    def test_inline_without_executor(self):
+        shards = map_published(None, _add_base, "s", {"base": 100}, self.ITEMS, 3)
+        assert shards == [[100 + i for i in self.ITEMS]]
+
+    def test_inline_single_worker(self):
+        shards = map_published(
+            SerialExecutor(), _add_base, "s", {"base": 100}, self.ITEMS, 3
+        )
+        assert shards == [[100 + i for i in self.ITEMS]]
+
+    @pytest.mark.parametrize("executor_cls", [ThreadExecutor, ProcessExecutor])
+    def test_sharded_results_in_order(self, executor_cls):
+        with executor_cls(2) as executor:
+            shards = map_published(
+                executor, _add_base, "s", {"base": 100}, self.ITEMS, 3
+            )
+        assert shards == [[100, 101, 102], [103, 104, 105], [106, 107, 108], [109]]
+
+    def test_retires_after_map(self):
+        with ThreadExecutor(2) as executor:
+            map_published(executor, _add_base, "s", {"base": 0}, self.ITEMS, 3)
+            assert "s" not in executor.context
+
+    def test_thread_backend_resolves_direct_reference(self):
+        marker = object()
+        with ThreadExecutor(2) as executor:
+            results = map_published(
+                executor,
+                _resolve_marker,
+                "m",
+                {"marker": marker},
+                self.ITEMS,
+                3,
+            )
+        assert all(result is marker for result in results)
+
+
+class TestProcessShipping:
+    def _runtime_counters(self):
+        return {
+            name: value
+            for name, value in perf.get_recorder().counters.items()
+            if name.startswith("runtime.")
+        }
+
+    def test_publish_once_counters(self):
+        recorder = perf.get_recorder()
+        before = dict(self._runtime_counters())
+        with ProcessExecutor(2) as executor:
+            shards = map_published(
+                executor,
+                _add_base,
+                "big",
+                {"base": 1, "bulk": list(range(50_000))},
+                list(range(8)),
+                2,
+            )
+        assert shards == [[1, 2], [3, 4], [5, 6], [7, 8]]
+        after = self._runtime_counters()
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        # The bulk payload shipped through the initializer (once per
+        # worker), so publish bytes dwarf the per-task payloads, which
+        # carry only a handle plus a 2-int shard.
+        assert delta("runtime.publish_bytes") > 100_000
+        assert 0 < delta("runtime.task_payload_bytes") < 10_000
+        assert delta("runtime.tasks") == 4
+        assert delta("runtime.worker_spawns") == 2
+        assert delta("runtime.publish_shipments") == 2  # 1 object × 2 workers
+        assert recorder.counters["runtime.publishes_per_worker"] == 1
+
+    def test_republish_respawns_with_new_state(self):
+        with ProcessExecutor(2) as executor:
+            handle = executor.publish("cfg", {"base": 10})
+            tasks = [(handle, shard) for shard in ([1, 2], [3], [4])]
+            first = executor.map(_add_base, tasks)
+            handle = executor.publish("cfg", {"base": 20})
+            second = executor.map(_add_base, [(handle, shard) for shard in ([1, 2], [3], [4])])
+        assert first == [[11, 12], [13], [14]]
+        assert second == [[21, 22], [23], [24]]
+
+    def test_unpicklable_published_object_fails_loudly(self):
+        with ProcessExecutor(2) as executor:
+            handle = executor.publish("oracle", {"confirm": lambda a, b: True})
+            with pytest.raises(ValueError, match="picklable"):
+                executor.map(_resolve_marker, [(handle, 1), (handle, 2)])
+
+    def test_unpicklable_task_fails_loudly(self):
+        with ProcessExecutor(2) as executor:
+            with pytest.raises(ValueError, match="publish"):
+                executor.map(lambda item: item, [1, 2, 3])
+
+    def test_close_is_idempotent_and_reusable(self):
+        executor = ProcessExecutor(2)
+        handle = executor.publish("cfg", {"base": 1})
+        assert executor.map(_add_base, [(handle, [1]), (handle, [2])]) == [[2], [3]]
+        executor.close()
+        executor.close()  # double close: no-op, no error
+        # and close() is not terminal — the pool re-spawns on demand.
+        assert executor.map(_add_base, [(handle, [5]), (handle, [6])]) == [[6], [7]]
+        executor.close()
+        executor.close()
+
+    def test_worker_pids_lifecycle(self):
+        executor = ProcessExecutor(2)
+        assert executor.worker_pids() == []
+        handle = executor.publish("cfg", {"base": 0})
+        executor.map(_add_base, [(handle, [1]), (handle, [2])])
+        assert len(executor.worker_pids()) >= 1
+        executor.close()
+        assert executor.worker_pids() == []

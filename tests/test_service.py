@@ -270,3 +270,180 @@ class TestHotSwap:
         assert get(base_url, "/healthz")[1]["version"] == result.version
         metrics = get(base_url, "/v1/metrics")[1]
         assert metrics["swaps"] >= 1
+
+
+class TestPagination:
+    """offset/limit paging on the vendor and product id lists."""
+
+    @pytest.fixture(scope="class")
+    def top_vendor(self, server):
+        """The vendor with the most CVEs in the served snapshot."""
+        snapshot = server.service.state.snapshot
+        vendor, count = max(
+            snapshot.vendor_cve_counts().items(), key=lambda item: (item[1], item[0])
+        )
+        assert count >= 3, "bundle too small for pagination tests"
+        return urllib.parse.quote(vendor), count
+
+    def test_default_page_carries_everything_small(self, base_url, top_vendor):
+        vendor, count = top_vendor
+        status, payload = get(base_url, f"/v1/vendor/{vendor}")
+        assert status == 200
+        assert payload["n_cves"] == count
+        assert payload["offset"] == 0
+        assert payload["limit"] == 500
+        if count <= 500:
+            assert len(payload["cve_ids"]) == count
+            assert payload["next_offset"] is None
+            assert payload["truncated"] is False
+
+    def test_pages_concatenate_to_full_list(self, base_url, top_vendor):
+        vendor, count = top_vendor
+        full = get(base_url, f"/v1/vendor/{vendor}")[1]["cve_ids"]
+        seen: list[str] = []
+        offset = 0
+        for _ in range(count + 1):
+            status, page = get(
+                base_url, f"/v1/vendor/{vendor}?offset={offset}&limit=2"
+            )
+            assert status == 200
+            assert page["n_cves"] == count  # the full count, every page
+            assert len(page["cve_ids"]) <= 2
+            # every 2-id window of a >2-id list is a partial view
+            assert page["truncated"] is (count > 2)
+            seen.extend(page["cve_ids"])
+            if page["next_offset"] is None:
+                break
+            assert page["next_offset"] == offset + 2
+            offset = page["next_offset"]
+        assert seen == full
+
+    def test_offset_beyond_end_is_empty(self, base_url, top_vendor):
+        vendor, count = top_vendor
+        status, payload = get(
+            base_url, f"/v1/vendor/{vendor}?offset={count + 10}"
+        )
+        assert status == 200
+        assert payload["cve_ids"] == []
+        assert payload["next_offset"] is None
+
+    def test_cache_distinguishes_pages(self, base_url, top_vendor):
+        vendor, _ = top_vendor
+        one = get(base_url, f"/v1/vendor/{vendor}?limit=1")[1]
+        two = get(base_url, f"/v1/vendor/{vendor}?limit=2")[1]
+        assert len(one["cve_ids"]) == 1
+        assert len(two["cve_ids"]) == 2
+        # and repeating a query still serves the identical page
+        assert get(base_url, f"/v1/vendor/{vendor}?limit=1")[1] == one
+
+    def test_product_route_paginates_too(self, base_url, server):
+        snapshot = server.service.state.snapshot
+        (vendor, product), count = max(
+            snapshot.product_cve_counts().items(), key=lambda item: (item[1], item[0])
+        )
+        path = (
+            f"/v1/product/{urllib.parse.quote(vendor)}/"
+            f"{urllib.parse.quote(product)}"
+        )
+        status, payload = get(base_url, f"{path}?limit=1")
+        assert status == 200
+        assert payload["n_cves"] == count
+        assert len(payload["cve_ids"]) == 1
+        assert payload["next_offset"] == (1 if count > 1 else None)
+
+    @pytest.mark.parametrize(
+        "query",
+        ["offset=-1", "limit=0", "limit=-5", "limit=abc", "offset=1.5", "limit=501"],
+    )
+    def test_bad_paging_params_400(self, base_url, top_vendor, query):
+        vendor, _ = top_vendor
+        status, payload = get(base_url, f"/v1/vendor/{vendor}?{query}")
+        assert status == 400
+        assert "query parameter" in payload["error"]
+
+
+class TestMultiProcessServing:
+    def test_reuse_port_servers_share_one_port(self, store):
+        """Two SO_REUSEPORT servers coexist on one port and both serve."""
+        import socket as socket_module
+
+        if not hasattr(socket_module, "SO_REUSEPORT"):
+            pytest.skip("platform has no SO_REUSEPORT")
+        first = create_server(store, port=0, reuse_port=True)
+        port = first.server_address[1]
+        second = create_server(store, port=port, reuse_port=True)
+        threads = []
+        try:
+            for server in (first, second):
+                thread = threading.Thread(target=server.serve_forever, daemon=True)
+                thread.start()
+                threads.append(thread)
+            url = f"http://127.0.0.1:{port}"
+            payloads = [get(url, "/healthz") for _ in range(20)]
+            assert all(status == 200 for status, _ in payloads)
+            assert all(payload["status"] == "ok" for _, payload in payloads)
+        finally:
+            for server in (first, second):
+                server.shutdown()
+                server.server_close()
+            for thread in threads:
+                thread.join(timeout=5)
+
+    def test_serve_workers_cli(self, store):
+        """`repro serve --workers 2` fans across processes on one port."""
+        import os
+        import pathlib
+        import signal
+        import socket as socket_module
+        import subprocess
+        import sys
+        import time
+
+        if not hasattr(socket_module, "SO_REUSEPORT"):
+            pytest.skip("platform has no SO_REUSEPORT")
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        env = dict(os.environ, PYTHONPATH=str(repo_root / "src"))
+        env.pop("REPRO_WORKERS", None)
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--artifacts", str(store),
+                "--port", str(port), "--workers", "2",
+            ],
+            cwd=repo_root,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            start_new_session=True,  # isolate signals from the test runner
+        )
+        url = f"http://127.0.0.1:{port}"
+        try:
+            deadline = time.monotonic() + 60
+            last_error = None
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    output = process.stdout.read().decode(errors="replace")
+                    pytest.fail(f"serve exited early:\n{output}")
+                try:
+                    status, payload = get(url, "/healthz")
+                    if status == 200 and payload["status"] == "ok":
+                        break
+                except OSError as error:
+                    last_error = error
+                time.sleep(0.25)
+            else:
+                pytest.fail(f"server never came up: {last_error}")
+            statuses = [get(url, "/v1/stats")[0] for _ in range(10)]
+            assert statuses == [200] * 10
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+        assert process.returncode == 0

@@ -7,12 +7,21 @@ throughput plus p50/p95 latency (overall and per endpoint) to
 ``BENCH_service.json`` — the serving counterpart of ``tools/bench.py``
 and ``BENCH_pipeline.json``, with the same schema-check pattern.
 
+``--ingest DELTA_FEED`` benchmarks the *write* path instead: it times
+``repro.artifacts.ingest_delta`` rolling the delta (typically from
+``tools/make_delta_feed.py``) into a new store version and records
+throughput as a ``kind: "ingest"`` run in the same trajectory file.
+
 Usage::
 
     PYTHONPATH=src python -m repro demo --n-cves 8000 --artifacts /tmp/store
     PYTHONPATH=src python tools/bench_service.py --artifacts /tmp/store
     PYTHONPATH=src python tools/bench_service.py --artifacts /tmp/store \
         --requests 2000 --clients 8 --label current
+    PYTHONPATH=src python tools/make_delta_feed.py --artifacts /tmp/store \
+        --out /tmp/delta.json.gz
+    PYTHONPATH=src python tools/bench_service.py --artifacts /tmp/store \
+        --ingest /tmp/delta.json.gz --label current
     python tools/bench_service.py --check-schema BENCH_service.json
 """
 
@@ -35,7 +44,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 SCHEMA = "repro-bench-service/1"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
 
-#: required keys of one run entry and their types.
+#: required keys of one serving run entry and their types.
 _RUN_FIELDS = {
     "label": str,
     "requests": int,
@@ -47,6 +56,18 @@ _RUN_FIELDS = {
     "p50_ms": (int, float),
     "p95_ms": (int, float),
     "endpoints": dict,
+}
+
+#: required keys of one ``kind: "ingest"`` run entry.
+_INGEST_FIELDS = {
+    "label": str,
+    "n_delta": int,
+    "n_new": int,
+    "n_updated": int,
+    "n_cves": int,
+    "version": str,
+    "wall_s": (int, float),
+    "cves_per_s": (int, float),
 }
 
 #: workload mix: (endpoint label, weight).
@@ -74,11 +95,18 @@ def validate(data: object) -> list[str]:
         if not isinstance(run, dict):
             errors.append(f"runs[{i}] must be an object")
             continue
-        for field, types in _RUN_FIELDS.items():
+        kind = run.get("kind", "serving")
+        if kind not in ("serving", "ingest"):
+            errors.append(f"runs[{i}].kind must be 'serving' or 'ingest'")
+            continue
+        fields = _INGEST_FIELDS if kind == "ingest" else _RUN_FIELDS
+        for field, types in fields.items():
             if field not in run:
                 errors.append(f"runs[{i}] missing field {field!r}")
             elif not isinstance(run[field], types):
                 errors.append(f"runs[{i}].{field} has wrong type")
+        if kind == "ingest":
+            continue
         endpoints = run.get("endpoints")
         if isinstance(endpoints, dict):
             for name, stats in endpoints.items():
@@ -237,11 +265,49 @@ def bench(
     }
 
 
+def bench_ingest(artifacts_dir: pathlib.Path, delta_path: pathlib.Path, label: str) -> dict:
+    """Time one incremental ingest of ``delta_path`` into the store.
+
+    The store gains a new version (that is the workload being measured
+    — delta cleaning *plus* the atomic export/pointer flip).
+    """
+    from repro.artifacts import ingest_delta
+    from repro.nvd import load_feed
+
+    entries = load_feed(delta_path)
+    print(
+        f"[bench-service] ingesting {len(entries)} delta CVEs "
+        f"into {artifacts_dir} ..."
+    )
+    t_ingest = time.perf_counter()
+    result = ingest_delta(artifacts_dir, entries)
+    wall_s = time.perf_counter() - t_ingest
+    return {
+        "kind": "ingest",
+        "label": label,
+        "n_delta": result.n_delta,
+        "n_new": result.n_new,
+        "n_updated": result.n_updated,
+        "n_predicted": result.n_predicted,
+        "n_cves": result.n_total,
+        "version": result.version,
+        "parent": result.parent,
+        "wall_s": round(wall_s, 3),
+        "cves_per_s": round(result.n_delta / wall_s, 1) if wall_s > 0 else 0.0,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--artifacts", type=pathlib.Path, metavar="DIR",
         help="artifact store to cold-start the server from",
+    )
+    parser.add_argument(
+        "--ingest", type=pathlib.Path, metavar="DELTA_FEED",
+        help="benchmark the ingest path instead: roll this delta feed "
+        "into the store (adds a version) and record throughput",
     )
     parser.add_argument("--requests", type=int, default=1000)
     parser.add_argument("--clients", type=int, default=4)
@@ -283,17 +349,26 @@ def main(argv: list[str] | None = None) -> int:
         document = {"schema": SCHEMA, "runs": []}
     document["schema"] = SCHEMA
 
-    run = bench(args.artifacts, args.requests, args.clients, args.seed, args.label)
-    document["runs"].append(run)
-    print(
-        f"[bench-service] {run['rps']} req/s, p50 {run['p50_ms']}ms, "
-        f"p95 {run['p95_ms']}ms over {run['requests']} requests"
-    )
-    for name, stats in run["endpoints"].items():
+    if args.ingest is not None:
+        run = bench_ingest(args.artifacts, args.ingest, args.label)
+        document["runs"].append(run)
         print(
-            f"  {name:<10} count={stats['count']:<6} "
-            f"p50={stats['p50_ms']}ms p95={stats['p95_ms']}ms"
+            f"[bench-service] ingest: {run['n_delta']} delta CVEs in "
+            f"{run['wall_s']}s ({run['cves_per_s']} CVEs/s) → version "
+            f"{run['version']} ({run['n_cves']} total)"
         )
+    else:
+        run = bench(args.artifacts, args.requests, args.clients, args.seed, args.label)
+        document["runs"].append(run)
+        print(
+            f"[bench-service] {run['rps']} req/s, p50 {run['p50_ms']}ms, "
+            f"p95 {run['p95_ms']}ms over {run['requests']} requests"
+        )
+        for name, stats in run["endpoints"].items():
+            print(
+                f"  {name:<10} count={stats['count']:<6} "
+                f"p50={stats['p50_ms']}ms p95={stats['p95_ms']}ms"
+            )
 
     errors = validate(document)
     if errors:  # defensive: never write a file CI would reject
