@@ -8,12 +8,15 @@ output durable and incrementally updatable:
   schema-checked manifest with per-file hashes);
 - :mod:`repro.artifacts.ingest` — `ingest_delta`, which cleans only
   new/changed CVEs with the persisted models and maps, then exports a
-  new version for a running server to hot-swap onto.
+  new version for a running server to hot-swap onto;
+- :mod:`repro.artifacts.recovery` — `recover_store`, the crash-recovery
+  sweep (quarantine torn versions, repair ``CURRENT``, GC stale ones).
 
 The serving front end lives in :mod:`repro.service`.
 """
 
 from repro.artifacts.ingest import IngestResult, ingest_delta
+from repro.artifacts.recovery import RecoveryReport, recover_store
 from repro.artifacts.store import (
     ARTIFACT_SCHEMA,
     ArtifactError,
@@ -30,10 +33,12 @@ __all__ = [
     "ArtifactError",
     "IngestResult",
     "LoadedArtifacts",
+    "RecoveryReport",
     "config_fingerprint",
     "export_run",
     "ingest_delta",
     "list_versions",
     "load_artifacts",
     "read_current",
+    "recover_store",
 ]

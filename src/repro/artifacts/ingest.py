@@ -26,6 +26,7 @@ import dataclasses
 import os
 from collections.abc import Iterable
 
+from repro.artifacts.recovery import recover_store
 from repro.artifacts.store import export_run, load_artifacts
 from repro.core.cwefix import apply_cwe_fixes, extract_cwe_fixes
 from repro.core.dates import DisclosureEstimate
@@ -87,7 +88,15 @@ def ingest_delta(
     :func:`repro.core.clean`.  Returns an :class:`IngestResult`; the
     new version is already live behind the ``CURRENT`` pointer when
     this returns.
+
+    Ingest is transactional: entry starts with a recovery sweep — a
+    previous writer's crash debris (leaked staging dirs, torn version
+    directories, a dangling ``CURRENT``) is quarantined/repaired before
+    the parent version is loaded — and the export itself publishes via
+    the store's staged-rename protocol, so a crash mid-ingest leaves
+    the parent version live and the next ingest able to proceed.
     """
+    recover_store(root)
     artifacts = load_artifacts(root, executor=executor)
     delta = NvdSnapshot(delta_entries)  # validates duplicate delta ids
     cache = CrawlCache.resolve(crawl_cache)

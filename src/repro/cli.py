@@ -11,6 +11,20 @@ Serving subcommands (see ``docs/architecture.md``)::
 
     python -m repro serve     --artifacts DIR [--host H] [--port P]
     python -m repro ingest    delta.json.gz --artifacts DIR
+    python -m repro recover   --artifacts DIR [--keep N]
+
+``recover`` runs the store's crash-recovery sweep on demand (ingest
+runs it automatically): leaked staging directories are removed, torn
+version directories are quarantined, the ``CURRENT`` pointer is
+repaired, and with ``--keep`` stale versions are garbage-collected.
+
+The global ``--faults`` flag installs a seeded fault-injection plan
+(see :mod:`repro.faults`; grammar ``site:kind=rate[@cap];...``) before
+the subcommand runs — the same plan the ``REPRO_FAULTS`` environment
+variable installs, e.g.::
+
+    python -m repro --faults "web.fetch:error=0.2;store.write:torn=1" \
+        demo --n-cves 2000
 
 ``fix-cwe`` works on any NVD JSON feed — including a real one: it
 applies the §4.4 ``CWE-[0-9]*`` recovery and rewrites the feed.
@@ -139,6 +153,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.artifacts import recover_store
+
+    report = recover_store(
+        args.artifacts, keep=args.keep, verify_hashes=args.verify_hashes
+    )
+    rows = [
+        ["staging dirs removed", len(report.staging_removed)],
+        ["versions quarantined", len(report.quarantined)],
+        ["stale versions GC'd", len(report.gc_removed)],
+        ["valid versions", len(report.valid_versions)],
+        ["CURRENT before", report.current_before or "(none)"],
+        ["CURRENT after", report.current_after or "(none)"],
+    ]
+    print(render_table(["Recovery sweep", "Value"], rows, title=str(args.artifacts)))
+    print(report.summary())
+    return 0
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.artifacts import ingest_delta
 
@@ -168,6 +201,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cleaning-the-NVD reproduction toolkit",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="install a seeded fault-injection plan before the command "
+        "runs (grammar: 'site:kind=rate[@cap];...'; same effect as the "
+        "REPRO_FAULTS environment variable)",
+    )
+    parser.add_argument(
+        "--faults-seed", type=int, default=0, metavar="N",
+        help="seed for probabilistic fault clauses (default: 0, or "
+        "REPRO_FAULTS_SEED when the plan comes from the environment)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -256,11 +300,35 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_CRAWL_CACHE; uncached URLs fall back to the NVD date)",
     )
     cmd.set_defaults(func=_cmd_ingest)
+
+    cmd = commands.add_parser(
+        "recover",
+        help="run the crash-recovery sweep over an artifact store",
+    )
+    cmd.add_argument("--artifacts", required=True, metavar="DIR")
+    cmd.add_argument(
+        "--keep", type=int, default=None, metavar="N",
+        help="garbage-collect all but the newest N valid versions "
+        "(default: keep everything)",
+    )
+    cmd.add_argument(
+        "--verify-hashes", action="store_true",
+        help="also verify per-file sha256 hashes against each manifest "
+        "(slower; default checks file presence only)",
+    )
+    cmd.set_defaults(func=_cmd_recover)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.faults:
+        from repro import faults
+
+        faults.install(
+            faults.FaultPlan.parse(args.faults, seed=args.faults_seed),
+            export_env=True,  # worker processes inherit the plan
+        )
     return args.func(args)
 
 

@@ -16,7 +16,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro import perf
+from repro import faults, perf
 from repro.cvss import Severity
 from repro.nvd import CveEntry, NvdSnapshot
 from repro.runtime import Executor, SharedHandle, map_published
@@ -138,7 +138,13 @@ def estimate_all(
     for name, value in sorted(counters.items()):
         perf.add_counter(f"dates.{name}", value)
     if cache is not None:
-        cache.save()
+        try:
+            cache.save()
+        except (OSError, faults.FaultInjected):
+            # the cache is an accelerator, never a dependency: a torn
+            # or failed save costs the next run some fetches, not this
+            # run its results
+            perf.add_counter("dates.cache_save_failed", 1)
     return {estimate.cve_id: estimate for estimate in estimates}
 
 

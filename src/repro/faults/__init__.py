@@ -1,0 +1,33 @@
+"""Seeded fault-injection plane (see :mod:`repro.faults.plan`)."""
+
+from repro.faults.plan import (
+    DEFAULT_CAP,
+    ENV_PLAN,
+    ENV_SEED,
+    FaultError,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    active,
+    clear,
+    install,
+    raise_if,
+    reset,
+    should,
+)
+
+__all__ = [
+    "DEFAULT_CAP",
+    "ENV_PLAN",
+    "ENV_SEED",
+    "FaultError",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "clear",
+    "install",
+    "raise_if",
+    "reset",
+    "should",
+]

@@ -17,6 +17,7 @@ import json
 import pathlib
 from typing import Any
 
+from repro import perf
 from repro.cpe import bind_to_formatted_string, parse_cpe
 from repro.cvss import (
     parse_v2_vector,
@@ -119,6 +120,24 @@ def _entry_to_item(entry: CveEntry) -> dict[str, Any]:
     return item
 
 
+def _lenient_metric(impact: dict[str, Any], block_key: str, metric_key: str, parser):
+    """Parse one ``impact`` metric, degrading malformed CVSS to absent.
+
+    Real feed exports (and the adversarial generator) contain items
+    whose ``vectorString`` is truncated, garbled, or not a string at
+    all; a bad severity vector must cost that one field, not abort the
+    whole snapshot parse.  Dropped vectors are counted under the
+    ``feed.malformed_cvss`` perf counter.
+    """
+    if block_key not in impact:
+        return None
+    try:
+        return parser(impact[block_key][metric_key]["vectorString"])
+    except (AttributeError, KeyError, TypeError, ValueError):
+        perf.add_counter("feed.malformed_cvss", 1)
+        return None
+
+
 def _item_to_entry(item: dict[str, Any]) -> CveEntry:
     cve = item["cve"]
     cve_id = cve["CVE_data_meta"]["ID"]
@@ -142,12 +161,8 @@ def _item_to_entry(item: dict[str, Any]) -> CveEntry:
             if uri:
                 cpes.append(parse_cpe(uri))
     impact = item.get("impact", {})
-    cvss_v2 = None
-    if "baseMetricV2" in impact:
-        cvss_v2 = parse_v2_vector(impact["baseMetricV2"]["cvssV2"]["vectorString"])
-    cvss_v3 = None
-    if "baseMetricV3" in impact:
-        cvss_v3 = parse_v3_vector(impact["baseMetricV3"]["cvssV3"]["vectorString"])
+    cvss_v2 = _lenient_metric(impact, "baseMetricV2", "cvssV2", parse_v2_vector)
+    cvss_v3 = _lenient_metric(impact, "baseMetricV3", "cvssV3", parse_v3_vector)
     modified = None
     if "lastModifiedDate" in item:
         modified = _parse_date(item["lastModifiedDate"])

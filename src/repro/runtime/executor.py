@@ -52,12 +52,14 @@ Perf counters (recorded on the default :mod:`repro.perf` recorder, so
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
 import os
 import pickle
+import signal
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
-from repro import perf
+from repro import faults, perf
 from repro.runtime.context import SharedHandle, WorkerContext, _install_worker_state
 
 __all__ = [
@@ -305,9 +307,23 @@ class ProcessExecutor(_PooledExecutor):
     process still receives each object once.  Worker processes spawn
     lazily on the first parallel map and are reused until
     :meth:`close`.
+
+    A worker dying mid-map (OOM kill, segfault, or the injected
+    ``worker:kill`` fault) breaks the whole pool —
+    :class:`concurrent.futures.process.BrokenProcessPool` — and every
+    queued task with it.  :meth:`map` recovers: the broken pool is
+    discarded, a fresh one respawns (re-shipping the published set
+    through the initializer), and the map retries from the top.  Task
+    shards are pure functions of their inputs, so a retried map returns
+    exactly what the unbroken map would have.  Retries are bounded
+    (``runtime.pool_respawns`` counts them); a pool that keeps dying
+    finally re-raises.
     """
 
     backend = "process"
+
+    #: map attempts across pool deaths (first try + respawned retries).
+    MAP_ATTEMPTS = 3
 
     def __init__(self, workers: int = 2, context: WorkerContext | None = None) -> None:
         super().__init__(workers, context)
@@ -351,6 +367,38 @@ class ProcessExecutor(_PooledExecutor):
             if process.pid is not None and process.is_alive()
         ]
 
+    def _kill_one_worker(self) -> None:
+        """SIGKILL one pool worker (the ``worker:kill`` fault's teeth).
+
+        Consulted parent-side so count-mode plans (``worker:kill=1``)
+        fire globally-once instead of once per forked worker.  A warmup
+        task forces the pool to actually spawn its processes first —
+        otherwise there is nobody to kill.
+        """
+        assert self._pool is not None
+        self._pool.submit(_warmup).result()
+        pids = self.worker_pids()
+        if pids:
+            os.kill(min(pids), signal.SIGKILL)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        self._before_map(fn, items)
+        for attempt in range(self.MAP_ATTEMPTS):
+            if self._pool is None:
+                self._pool = self._make_pool()
+            if faults.should("worker", "kill", token="process-pool"):
+                self._kill_one_worker()
+            try:
+                return list(self._pool.map(fn, items))
+            except concurrent.futures.process.BrokenProcessPool:
+                perf.add_counter("runtime.pool_respawns", 1)
+                self.close()  # discard the broken pool; retry respawns
+                if attempt + 1 >= self.MAP_ATTEMPTS:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _before_map(self, fn: Callable[[T], R], items: Sequence[T]) -> None:
         if self._pool is not None and self._pool_generation != self.context.generation:
             self.close()  # stale published set: respawn ships the live one
@@ -375,6 +423,10 @@ class ProcessExecutor(_PooledExecutor):
             "runtime.task_payload_bytes", fn_bytes * len(items) + item_bytes
         )
         perf.add_counter("runtime.tasks", len(items))
+
+
+def _warmup() -> None:
+    """No-op task submitted to force pool-worker spawn."""
 
 
 _BACKEND_CLASSES: dict[str, type[Executor]] = {

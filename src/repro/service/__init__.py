@@ -9,10 +9,12 @@ ingest path.  See :mod:`repro.service.http` for the endpoint table and
 
 from repro.service.http import ApiHandler, NvdService, create_server, serve
 from repro.service.state import ServiceError, ServiceState
+from repro.service.supervisor import ServeSupervisor
 
 __all__ = [
     "ApiHandler",
     "NvdService",
+    "ServeSupervisor",
     "ServiceError",
     "ServiceState",
     "create_server",

@@ -29,13 +29,24 @@ the state reference swaps atomically — in-flight requests finish on
 the old state, the response cache clears, and ``swaps`` increments in
 ``/v1/metrics``.
 
+The reload path carries a **circuit breaker**: after
+``breaker_threshold`` consecutive reload failures (mid-export store,
+corrupt pointer target, injected ``serve.reload`` fault) the service
+stops probing for ``breaker_cooldown`` seconds and keeps serving the
+last good version; one half-open probe after the cooldown either
+closes the breaker or re-opens it.  While the breaker is tripped the
+service reports itself *degraded* — ``/healthz`` answers ``status:
+"degraded"`` and ``/v1/metrics`` carries the breaker state — instead
+of flapping or dying.
+
 Multi-process serving: ``serve(root, workers=N)`` (``python -m repro
-serve --workers N``) reuses the runtime's shared-state plane — the
-serving config is published on a :class:`repro.runtime.ProcessExecutor`
-context and each module-level :func:`_serve_worker` task cold-starts
-its own server from the multi-reader-safe artifact store, all bound to
-one port via ``SO_REUSEPORT`` so the kernel load-balances connections
-across the processes.
+serve --workers N``) hands off to
+:class:`repro.service.supervisor.ServeSupervisor`, which spawns ``N``
+single-process servers sharing the port via ``SO_REUSEPORT``, respawns
+crashed workers under a restart budget with exponential backoff, and
+publishes its status to ``ROOT/.supervisor.json`` — surfaced by every
+worker's ``/v1/metrics`` (``supervisor`` block) and folded into the
+degraded flag.
 """
 
 from __future__ import annotations
@@ -45,17 +56,20 @@ import http.server
 import json
 import os
 import pathlib
-import signal
 import socket
 import threading
 import time
 import urllib.parse
 
+from repro import faults
 from repro.artifacts import ArtifactError, read_current
-from repro.runtime import ProcessExecutor, SharedHandle, resolve_workers
+from repro.runtime import resolve_workers
 from repro.service.state import MAX_IDS, ServiceError, ServiceState
 
 __all__ = ["ApiHandler", "NvdService", "create_server", "serve"]
+
+#: the supervisor's status drop-box, relative to the artifact root.
+SUPERVISOR_STATUS = ".supervisor.json"
 
 SERVICE_NAME = "repro-nvd-service/1"
 
@@ -140,11 +154,15 @@ class NvdService:
         version: str | None = None,
         cache_size: int = 1024,
         reload_interval: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
     ) -> None:
         self.root = pathlib.Path(root)
         #: a pinned server never hot-swaps (explicit --version).
         self.pinned = version is not None
         self.reload_interval = float(reload_interval)
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.breaker_cooldown = float(breaker_cooldown)
         self._state = ServiceState.load(self.root, version)
         self._cache = ResponseCache(cache_size)
         self._counters: collections.Counter[str] = collections.Counter()
@@ -153,6 +171,10 @@ class NvdService:
         self._last_check = time.monotonic()
         self._started = time.time()
         self.swaps = 0
+        #: consecutive reload failures; >= threshold trips the breaker.
+        self._breaker_failures = 0
+        self._breaker_open_until: float | None = None
+        self._supervisor_cache: tuple[int, dict | None] | None = None
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -164,6 +186,46 @@ class NvdService:
     def state(self) -> ServiceState:
         return self._state
 
+    @property
+    def breaker_open(self) -> bool:
+        """True while the reload circuit breaker is in its cooldown."""
+        return (
+            self._breaker_open_until is not None
+            and time.monotonic() < self._breaker_open_until
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True when the service is limping: the reload breaker has
+        tripped (serving a pinned last-good version) or the supervisor
+        reports dead workers."""
+        if self._breaker_failures >= self.breaker_threshold:
+            return True
+        status = self.supervisor_status()
+        return bool(status and status.get("degraded"))
+
+    def supervisor_status(self) -> dict | None:
+        """The supervisor's status drop-box, if one is running.
+
+        Cached by file mtime so the per-request cost is one ``stat``.
+        """
+        path = self.root / SUPERVISOR_STATUS
+        try:
+            mtime = path.stat().st_mtime_ns
+        except OSError:
+            return None
+        cached = self._supervisor_cache
+        if cached is not None and cached[0] == mtime:
+            return cached[1]
+        try:
+            status = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(status, dict):
+            status = None
+        self._supervisor_cache = (mtime, status)
+        return status
+
     def maybe_reload(self) -> bool:
         """Hot-swap to the store's ``CURRENT`` version if it moved.
 
@@ -173,10 +235,18 @@ class NvdService:
         under a non-blocking lock so concurrent requests keep serving
         the old state instead of piling up.  Returns True when a swap
         happened.
+
+        Reload failures feed the circuit breaker: after
+        ``breaker_threshold`` consecutive failures the breaker opens
+        for ``breaker_cooldown`` seconds — no probing, the last good
+        version stays pinned — then a single half-open probe decides
+        whether to close it or re-open.
         """
         if self.pinned:
             return False
         now = time.monotonic()
+        if self._breaker_open_until is not None and now < self._breaker_open_until:
+            return False  # breaker open: pinned to the last good version
         if self.reload_interval > 0 and now - self._last_check < self.reload_interval:
             return False
         if not self._swap_lock.acquire(blocking=False):
@@ -187,12 +257,21 @@ class NvdService:
             if current is None or current == self._state.version:
                 return False
             try:
+                faults.raise_if("serve.reload", "error", token=str(self.root))
                 new_state = ServiceState.load(self.root, current)
-            except ArtifactError:
+            except (ArtifactError, faults.FaultInjected):
                 # Mid-export or corrupt pointer target: keep serving
                 # the loaded version; the next interval retries.
                 self._bump("reload_failures")
+                self._breaker_failures += 1
+                if self._breaker_failures >= self.breaker_threshold:
+                    self._breaker_open_until = (
+                        time.monotonic() + self.breaker_cooldown
+                    )
+                    self._bump("breaker_opened")
                 return False
+            self._breaker_failures = 0
+            self._breaker_open_until = None
             self._state = new_state
             self._cache.clear()
             self.swaps += 1
@@ -265,7 +344,7 @@ class NvdService:
             if path == "/healthz":
                 self._bump("endpoint_healthz")
                 return 200, {
-                    "status": "ok",
+                    "status": "degraded" if self.degraded else "ok",
                     "service": SERVICE_NAME,
                     "version": state.version,
                     "model": state.model_used,
@@ -305,7 +384,7 @@ class NvdService:
     def metrics_payload(self) -> dict:
         with self._counter_lock:
             counters = dict(self._counters)
-        return {
+        payload = {
             "service": SERVICE_NAME,
             "version": self._state.version,
             "model": self._state.model_used,
@@ -313,7 +392,17 @@ class NvdService:
             "cache_entries": len(self._cache),
             "swaps": self.swaps,
             "counters": counters,
+            "degraded": self.degraded,
+            "breaker": {
+                "open": self.breaker_open,
+                "consecutive_failures": self._breaker_failures,
+                "threshold": self.breaker_threshold,
+            },
         }
+        supervisor = self.supervisor_status()
+        if supervisor is not None:
+            payload["supervisor"] = supervisor
+        return payload
 
 
 class ApiHandler(http.server.BaseHTTPRequestHandler):
@@ -378,6 +467,8 @@ def create_server(
     cache_size: int = 1024,
     reload_interval: float = 1.0,
     reuse_port: bool = False,
+    breaker_threshold: int = 3,
+    breaker_cooldown: float = 5.0,
 ) -> _ServiceServer:
     """Cold-start a server from an artifact store (no retraining).
 
@@ -392,116 +483,10 @@ def create_server(
         version=version,
         cache_size=cache_size,
         reload_interval=reload_interval,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
     )
     return _ServiceServer((host, port), service, reuse_port=reuse_port)
-
-
-def _serve_worker(task: tuple[SharedHandle, int]) -> int:
-    """Worker body: one request-serving process.
-
-    The serving config resolves from the shared-state handle (shipped
-    once per worker); each worker cold-starts its own state from the
-    multi-reader-safe artifact store, binds the shared port with
-    ``SO_REUSEPORT``, and polls ``CURRENT`` for hot swaps on its own.
-    """
-    handle, index = task
-    config = handle.resolve()
-    try:
-        server = create_server(
-            config["root"],
-            config["host"],
-            config["port"],
-            version=config["version"],
-            reload_interval=config["reload_interval"],
-            reuse_port=True,
-        )
-    except Exception as error:
-        # The parent blocks on worker 0's never-returning task and
-        # cannot observe this future until shutdown — print here so a
-        # failed worker (bad store, port clash) is visible immediately,
-        # then re-raise so the parent's exit code turns nonzero.
-        print(f"[serve] worker {index} failed to start: {error}", flush=True)
-        raise
-    state = server.service.state
-    print(
-        f"[serve] worker {index}: version {state.version}, "
-        f"{state.stats['n_cves']} CVEs, model {state.model_used}",
-        flush=True,
-    )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
-    return index
-
-
-def _serve_multiprocess(
-    root: str | os.PathLike[str],
-    host: str,
-    port: int,
-    workers: int,
-    *,
-    version: str | None,
-    reload_interval: float,
-) -> int:
-    """Fan request handling across ``workers`` processes on one port."""
-    if not hasattr(socket, "SO_REUSEPORT"):
-        raise ValueError(
-            "multi-process serving needs SO_REUSEPORT (Linux/BSD); "
-            "run with --workers 1 on this platform"
-        )
-    placeholder = None
-    if port == 0:
-        # Reserve an ephemeral port every worker can share.  The
-        # placeholder stays bound but never listens, so it joins no
-        # load-balancing group — it only keeps the number stable.
-        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
-        placeholder.bind((host, 0))
-        port = placeholder.getsockname()[1]
-    executor = ProcessExecutor(workers)
-    handle = executor.publish(
-        "service.config",
-        {
-            "root": os.fspath(root),
-            "host": host,
-            "port": port,
-            "version": version,
-            "reload_interval": reload_interval,
-        },
-    )
-    print(
-        f"[serve] {SERVICE_NAME} on http://{host}:{port} — "
-        f"{workers} worker processes (SO_REUSEPORT) over {root}",
-        flush=True,
-    )
-    try:
-        executor.map(_serve_worker, [(handle, index) for index in range(workers)])
-    except KeyboardInterrupt:
-        print("[serve] shutting down")
-        # Workers spawned from a terminal already share the SIGINT; a
-        # parent stopped any other way forwards it so serve_forever
-        # unwinds in every worker before the pool drains.
-        for pid in executor.worker_pids():
-            try:
-                os.kill(pid, signal.SIGINT)
-            except OSError:
-                pass
-    except Exception as error:
-        # A worker died (its own stdout carries the detail); the
-        # service is degraded or down, so fail the command.
-        print(f"[serve] worker failed: {error}", flush=True)
-        return 1
-    finally:
-        try:
-            executor.close()
-        except Exception:
-            pass  # tearing down anyway; a worker killed mid-task is fine
-        if placeholder is not None:
-            placeholder.close()
-    return 0
 
 
 def serve(
@@ -516,14 +501,23 @@ def serve(
     """Run the service until interrupted (the ``repro serve`` command).
 
     ``workers`` (default: the ``REPRO_WORKERS`` environment variable,
-    i.e. 1) selects single-process threading or the multi-process
-    ``SO_REUSEPORT`` plane.
+    i.e. 1) selects single-process threading or the supervised
+    multi-process ``SO_REUSEPORT`` plane
+    (:class:`repro.service.supervisor.ServeSupervisor` — crashed
+    workers respawn under a restart budget with backoff).
     """
     count = resolve_workers(workers)
     if count > 1:
-        return _serve_multiprocess(
-            root, host, port, count, version=version, reload_interval=reload_interval
-        )
+        from repro.service.supervisor import ServeSupervisor
+
+        return ServeSupervisor(
+            root,
+            host=host,
+            port=port,
+            workers=count,
+            version=version,
+            reload_interval=reload_interval,
+        ).run()
     server = create_server(
         root, host, port, version=version, reload_interval=reload_interval
     )

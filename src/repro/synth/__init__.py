@@ -20,7 +20,13 @@ equivalents with the paper's *measured* statistical properties and
   tables sharing the NVD vendor universe.
 """
 
-from repro.synth.generator import GeneratorConfig, GroundTruth, SyntheticNvd, generate
+from repro.synth.generator import (
+    GeneratorConfig,
+    GroundTruth,
+    SyntheticNvd,
+    corrupt_feed,
+    generate,
+)
 from repro.synth.otherdbs import OtherDatabase, generate_securityfocus, generate_securitytracker
 from repro.synth.webcorpus import SyntheticWeb
 
@@ -30,6 +36,7 @@ __all__ = [
     "OtherDatabase",
     "SyntheticNvd",
     "SyntheticWeb",
+    "corrupt_feed",
     "generate",
     "generate_securityfocus",
     "generate_securitytracker",

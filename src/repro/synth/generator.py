@@ -22,12 +22,21 @@ with the ground truth needed to score the cleaning pipeline:
 - **types** (§4.4) — ≈31% of CVEs carry only sentinel/missing CWE
   labels; a fraction of those embed the true CWE id in an evaluator
   description, which the regex fix can recover.
+
+An opt-in **adversarial mode** (``GeneratorConfig.adversarial_rate``)
+additionally mutates a slice of the snapshot into the hostile shapes
+real feeds exhibit — entries with no description at all, a vendor
+alias shared by two unrelated canonical vendors, and CVEs stripped of
+every CVSS vector — which the cleaning pipeline must survive without
+crashing.  :func:`corrupt_feed` complements it at the serialisation
+layer by garbling CVSS ``vectorString`` payloads in a feed document.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import datetime
+import json
 
 import numpy as np
 
@@ -47,7 +56,13 @@ from repro.synth.names import (
 from repro.synth.webcorpus import SyntheticWeb
 from repro.web.domains import TOP_DOMAINS
 
-__all__ = ["GeneratorConfig", "GroundTruth", "SyntheticNvd", "generate"]
+__all__ = [
+    "GeneratorConfig",
+    "GroundTruth",
+    "SyntheticNvd",
+    "corrupt_feed",
+    "generate",
+]
 
 # ---------------------------------------------------------------------------
 # Configuration.
@@ -167,6 +182,11 @@ class GeneratorConfig:
     #: zero-lag probability by v2 severity (LOW/MEDIUM/HIGH); the §4.1
     #: improvement skews toward high-severity CVEs.
     zero_lag_by_severity: tuple[float, float, float] = (0.55, 0.42, 0.28)
+    #: fraction of entries mutated into adversarial records (empty
+    #: descriptions, colliding vendor aliases, CVSS-less CVEs).  0
+    #: disables the pass entirely, keeping default bundles bit-identical
+    #: to pre-adversarial builds.
+    adversarial_rate: float = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -197,6 +217,9 @@ class GroundTruth:
     #: variant records, for pattern analyses (Table 2).
     vendor_variants: list[NameVariant]
     product_variants: list[NameVariant]
+    #: adversarial scenario name → CVE ids mutated by that scenario
+    #: (empty unless ``GeneratorConfig.adversarial_rate`` > 0).
+    adversarial_cves: dict[str, set[str]] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass
@@ -498,6 +521,82 @@ def _build_product_variants(
     return mapping, variants
 
 
+#: Adversarial scenarios, cycled over the mutated entries in order.
+_ADVERSARIAL_KINDS = ("empty_description", "colliding_alias", "missing_cvss")
+
+
+def _adversarialize(
+    entries: list[CveEntry],
+    universe: list[VendorSpec],
+    truth: GroundTruth,
+    config: GeneratorConfig,
+    rng: np.random.Generator,
+) -> None:
+    """Mutate ``adversarial_rate`` of the entries into hostile shapes.
+
+    Three scenarios, cycled deterministically over the chosen entries:
+
+    - ``empty_description`` — the description list is emptied; the CWE
+      regex and description classifier must treat the entry as
+      information-free, not crash on it;
+    - ``colliding_alias`` — the CPE vendor is rewritten to one alias
+      shared across entries whose canonical vendors differ, so the
+      name-consolidation majority rule faces a genuinely ambiguous
+      mapping (the generator's normal variant machinery guarantees
+      collision-freedom; this deliberately breaks that guarantee);
+    - ``missing_cvss`` — every CVSS vector is stripped, the entry-level
+      analogue of a feed item whose ``vectorString`` failed to parse.
+
+    Mutated ids are recorded per scenario in ``truth.adversarial_cves``
+    so tests can assert the pipeline survived *those* entries.
+    """
+    n_target = min(len(entries), max(3, int(len(entries) * config.adversarial_rate)))
+    chosen = sorted(
+        int(index)
+        for index in rng.choice(len(entries), size=n_target, replace=False)
+    )
+    heavy = sorted(universe, key=lambda spec: (-spec.weight, spec.name))[:2]
+    collider = f"{heavy[0].name}-{heavy[1].name}-oem"
+    for slot, index in enumerate(chosen):
+        entry = entries[index]
+        kind = _ADVERSARIAL_KINDS[slot % len(_ADVERSARIAL_KINDS)]
+        if kind == "empty_description":
+            entries[index] = entry.replace(descriptions=())
+        elif kind == "colliding_alias":
+            product = (
+                entry.cpes[0].product if entry.cpes else heavy[0].products[0]
+            )
+            version = entry.cpes[0].version if entry.cpes else "1.0"
+            entries[index] = entry.replace(
+                cpes=(CpeName("a", collider, product, version=version),)
+            )
+        else:
+            entries[index] = entry.replace(cvss_v2=None, cvss_v3=None)
+        truth.adversarial_cves.setdefault(kind, set()).add(entry.cve_id)
+
+
+def corrupt_feed(feed: dict, *, rate: float = 0.05, seed: int = 0) -> dict:
+    """Return a deep copy of ``feed`` with malformed CVSS vectors.
+
+    Deterministically garbles the ``vectorString`` of ≈``rate`` of the
+    CVSS metric blocks — truncated vectors, unknown metric keys, empty
+    strings, and non-string payloads, the shapes observed in real NVD
+    exports.  ``repro.nvd.entries_from_feed`` must degrade each one to
+    "no CVSS" instead of aborting the snapshot parse.
+    """
+    corrupted = json.loads(json.dumps(feed))
+    rng = np.random.default_rng(seed)
+    garbles: tuple[object, ...] = ("AV:N/AC:L", "AV:X/QQ:9/??", "", None)
+    count = 0
+    for item in corrupted.get("CVE_Items", ()):
+        impact = item.get("impact", {})
+        for block, metric in (("baseMetricV2", "cvssV2"), ("baseMetricV3", "cvssV3")):
+            if block in impact and rng.random() < rate:
+                impact[block][metric]["vectorString"] = garbles[count % len(garbles)]
+                count += 1
+    return corrupted
+
+
 def _version_string(rng: np.random.Generator) -> str:
     major = int(rng.integers(0, 12))
     minor = int(rng.integers(0, 10))
@@ -725,6 +824,9 @@ def generate(config: GeneratorConfig | None = None) -> SyntheticNvd:
             truth.disclosure[cve_id] = disclosure
             truth.true_cwe[cve_id] = true_cwe
             truth.true_v3[cve_id] = v3
+
+    if config.adversarial_rate > 0 and entries:
+        _adversarialize(entries, universe, truth, config, rng)
 
     return SyntheticNvd(
         snapshot=NvdSnapshot(entries),

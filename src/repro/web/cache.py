@@ -26,6 +26,11 @@ from *new* entries accumulated during a run: :meth:`take_new` on each
 worker's copy drains that shard's additions into its result, the
 parent's :meth:`merge` folds them back in, and the parent
 :meth:`save`\\ s once.
+
+``fetch_failed`` entries are *revalidatable*, not terminal: the cache
+keeps a per-URL failure record (attempt count + timestamp, persisted
+alongside the entries) and the crawler re-attempts such URLs on replay
+instead of treating one transient outage as a permanent verdict.
 """
 
 from __future__ import annotations
@@ -35,6 +40,9 @@ import json
 import os
 import pathlib
 import tempfile
+import time
+
+from repro import faults
 
 __all__ = ["CACHE_SCHEMA", "CrawlCache"]
 
@@ -55,6 +63,10 @@ class CrawlCache:
         self.path = pathlib.Path(path) if path is not None else None
         self._entries: dict[str, tuple[str, datetime.date | None]] = {}
         self._new: dict[str, tuple[str, datetime.date | None]] = {}
+        #: URL → (attempt count, unix timestamp) for fetch_failed
+        #: entries — kept apart from the entry tuples so the cached
+        #: outcome shape (and the worker-merge protocol) is unchanged.
+        self._failures: dict[str, tuple[int, float]] = {}
         self.hits = 0
         self.misses = 0
         if self.path is not None and self.path.exists():
@@ -104,6 +116,19 @@ class CrawlCache:
                 except (TypeError, ValueError):
                     continue
             self._entries[url] = (outcome, date)
+        failures = document.get("failures")
+        if isinstance(failures, dict):
+            for url, record in failures.items():
+                entry = self._entries.get(url)
+                if entry is None or entry[0] != "fetch_failed":
+                    continue
+                if not (isinstance(record, list) and len(record) == 2):
+                    continue
+                attempts, stamp = record
+                try:
+                    self._failures[url] = (int(attempts), float(stamp))
+                except (TypeError, ValueError):
+                    continue
 
     def save(self) -> pathlib.Path | None:
         """Atomically write the cache; returns the path (None in-memory).
@@ -122,7 +147,18 @@ class CrawlCache:
                 for url, (outcome, date) in sorted(self._entries.items())
             },
         }
+        if self._failures:
+            document["failures"] = {
+                url: [attempts, stamp]
+                for url, (attempts, stamp) in sorted(self._failures.items())
+            }
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if faults.should("cache.save", "torn", token=str(self.path)):
+            # a torn write: half the document lands on disk, then the
+            # "crash" — the loader must shrug this off as an empty cache
+            payload = json.dumps(document, indent=1)
+            self.path.write_text(payload[: len(payload) // 2], encoding="utf-8")
+            raise faults.FaultInjected("cache.save", "torn")
         fd, tmp_name = tempfile.mkstemp(
             dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
         )
@@ -168,12 +204,27 @@ class CrawlCache:
         return entry
 
     def put(self, url: str, outcome: str, date: datetime.date | None) -> None:
-        """Record one scrape outcome (validated against the outcome set)."""
+        """Record one scrape outcome (validated against the outcome set).
+
+        A ``fetch_failed`` outcome also bumps the URL's failure record
+        (attempts + timestamp); any other outcome clears it — the URL
+        recovered, so the failure history is no longer interesting.
+        """
         if outcome not in _OUTCOMES:
             raise ValueError(f"unknown crawl outcome {outcome!r}")
         entry = (outcome, date)
         self._entries[url] = entry
         self._new[url] = entry
+        if outcome == "fetch_failed":
+            attempts = self._failures.get(url, (0, 0.0))[0] + 1
+            self._failures[url] = (attempts, time.time())
+        else:
+            self._failures.pop(url, None)
+
+    def failure(self, url: str) -> tuple[int, float] | None:
+        """The ``(attempts, last unix timestamp)`` failure record for a
+        ``fetch_failed`` URL, or None if it never failed / recovered."""
+        return self._failures.get(url)
 
     # -- worker merging ------------------------------------------------------
 

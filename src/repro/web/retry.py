@@ -1,0 +1,104 @@
+"""Bounded retries with seeded exponential backoff for web fetches.
+
+The crawl is the pipeline's only externally-bound phase, so it is the
+one place transient failures (connection resets, timeouts) are normal
+rather than exceptional.  A :class:`RetryPolicy` bounds how hard the
+crawler tries: a fixed attempt budget, exponential backoff between
+attempts with *seeded* jitter (runs replay the same delays — nothing in
+the pipeline may depend on wall-clock randomness), and an optional
+per-fetch timeout enforced by a single helper thread.
+
+Clients signal a *transient* failure by raising
+:class:`TransientFetchError` (or any ``TimeoutError``); returning
+``None`` remains the permanent "no such page" answer and is never
+retried, so synthetic corpora — where ``None`` means the page simply
+does not exist — pay nothing for the retry machinery.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import random
+import threading
+import time
+from collections.abc import Callable
+
+__all__ = ["RetryPolicy", "TransientFetchError"]
+
+
+class TransientFetchError(RuntimeError):
+    """A fetch failure worth retrying (network hiccup, 5xx, reset)."""
+
+
+def _jitter_seed(seed: int, token: str) -> int:
+    digest = hashlib.blake2b(f"{seed}:{token}".encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class RetryPolicy:
+    """Attempt budget + seeded exponential backoff + optional timeout.
+
+    ``sleep`` is injectable so tests and the chaos harness can run
+    retry storms without real delays.  Delays for attempt ``i`` (0-based
+    count of *failed* attempts so far) are::
+
+        min(max_delay, base_delay * 2**i) * jitter,  jitter ∈ [0.5, 1.0)
+
+    with the jitter stream seeded per ``(seed, token)`` — the same URL
+    backs off identically on every run.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base_delay: float = 0.01,
+        max_delay: float = 0.25,
+        timeout: float | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"retry attempts must be >= 1, got {attempts}")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.timeout = timeout
+        self.seed = seed
+        self.sleep = sleep
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def backoff(self, failed_attempts: int, token: str = "") -> float:
+        """The delay before the next attempt after ``failed_attempts``."""
+        raw = min(self.max_delay, self.base_delay * (2 ** max(0, failed_attempts - 1)))
+        rng = random.Random(_jitter_seed(self.seed, token) + failed_attempts)
+        return raw * (0.5 + rng.random() / 2)
+
+    def wait(self, failed_attempts: int, token: str = "") -> None:
+        """Sleep the backoff delay (no-op when the delay rounds to 0)."""
+        delay = self.backoff(failed_attempts, token)
+        if delay > 0:
+            self.sleep(delay)
+
+    def call(self, fn: Callable[..., object], *args: object) -> object:
+        """Run ``fn`` once, enforcing the per-call timeout if set.
+
+        The timeout runs the call on a lazily-created single helper
+        thread; on expiry a ``TimeoutError`` propagates to the caller
+        (the abandoned call finishes in the background — Python offers
+        no safe preemption — but its result is discarded).
+        """
+        if self.timeout is None:
+            return fn(*args)
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-fetch"
+                )
+            pool = self._pool
+        future = pool.submit(fn, *args)
+        try:
+            return future.result(timeout=self.timeout)
+        except concurrent.futures.TimeoutError:
+            raise TimeoutError(f"fetch exceeded {self.timeout}s") from None

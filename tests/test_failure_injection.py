@@ -1,13 +1,29 @@
-"""Robustness under degraded inputs: flaky web, garbage pages, bad feeds."""
+"""Robustness under degraded inputs and injected faults: flaky web,
+garbage pages, bad feeds, torn writes, dead workers, failed reloads."""
 
 import datetime
+import gzip
 import json
+import shutil
 
 import pytest
 
+from repro import faults, perf
 from repro.core import estimate_disclosure
 from repro.nvd import CveEntry, Reference, entries_from_feed
-from repro.web import ReferenceCrawler
+from repro.web import CrawlCache, ReferenceCrawler, RetryPolicy, TransientFetchError
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """Every test in this module starts and ends fault-free."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def install_plan(text, seed=0):
+    return faults.install(faults.FaultPlan.parse(text, seed=seed))
 
 
 class FlakyWeb:
@@ -108,3 +124,486 @@ class TestMalformedFeeds:
 
         feed = json.loads(json.dumps(entries_to_feed([entry]), ensure_ascii=False))
         assert entries_from_feed(feed)[0].descriptions[0] == "説明 — ユニコード"
+
+    @pytest.mark.parametrize("garble", ["AV:N/AC:L", "not a vector", "", None])
+    def test_malformed_cvss_vector_degrades_to_no_cvss(self, garble):
+        """A bad ``vectorString`` costs that field, not the whole parse."""
+        entry = CveEntry(
+            cve_id="CVE-2013-0003",
+            published=datetime.date(2013, 1, 1),
+            descriptions=("d",),
+        )
+        from repro.cvss import parse_v2_vector
+        from repro.nvd import entries_to_feed
+
+        metrics = parse_v2_vector("AV:N/AC:L/Au:N/C:P/I:P/A:P")
+        feed = entries_to_feed([entry.replace(cvss_v2=metrics)])
+        feed["CVE_Items"][0]["impact"]["baseMetricV2"]["cvssV2"][
+            "vectorString"
+        ] = garble
+        parsed = entries_from_feed(feed)
+        assert len(parsed) == 1
+        assert parsed[0].cvss_v2 is None
+
+
+# ---------------------------------------------------------------------------
+# The fault plane itself.
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_grammar_round_trips(self):
+        text = "web.fetch:error=0.2;store.write:torn=1;cache.save:torn=0.5@4"
+        plan = faults.FaultPlan.parse(text, seed=3)
+        assert plan.to_spec() == text
+        assert faults.FaultPlan.parse(plan.to_spec(), seed=3).to_spec() == text
+
+    @pytest.mark.parametrize(
+        "bad", ["", "web.fetch", "web.fetch:error", "web.fetch:error=x",
+                "UPPER:case=1", "a:b=1@0"]
+    )
+    def test_bad_clauses_rejected(self, bad):
+        with pytest.raises(ValueError):
+            faults.FaultPlan.parse(bad)
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            faults.FaultPlan.parse("a.b:c=1;a.b:c=0.5")
+
+    def test_count_mode_fires_exactly_n_times(self):
+        plan = faults.FaultPlan.parse("worker:kill=2")
+        fired = [plan.should("worker", "kill") for _ in range(10)]
+        assert fired == [True, True] + [False] * 8
+        assert plan.fired("worker", "kill") == 2
+
+    def test_probability_mode_is_seed_deterministic(self):
+        draws = []
+        for _ in range(2):
+            plan = faults.FaultPlan.parse("web.fetch:error=0.5@99", seed=11)
+            draws.append([plan.should("web.fetch", "error", token="u") for _ in range(40)])
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])
+
+    def test_consecutive_fires_capped_per_token(self):
+        plan = faults.FaultPlan.parse("web.fetch:error=0.99", seed=1)
+        streak = longest = 0
+        for _ in range(60):
+            if plan.should("web.fetch", "error", token="url"):
+                streak += 1
+                longest = max(longest, streak)
+            else:
+                streak = 0
+        assert longest <= faults.DEFAULT_CAP
+        assert plan.fired("web.fetch", "error") > 0
+
+    def test_unlisted_site_never_fires(self):
+        plan = faults.FaultPlan.parse("web.fetch:error=1")
+        assert plan.should("store.write", "torn") is False
+
+    def test_plan_resolves_from_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_PLAN, "env.site:boom=1")
+        monkeypatch.setenv(faults.ENV_SEED, "9")
+        faults.reset()  # force a re-read of the environment
+        plan = faults.active()
+        assert plan is not None and plan.seed == 9
+        assert faults.should("env.site", "boom") is True
+        assert faults.should("env.site", "boom") is False
+
+    def test_raise_if_raises_tagged_error(self):
+        install_plan("a.b:c=1")
+        with pytest.raises(faults.FaultInjected) as excinfo:
+            faults.raise_if("a.b", "c")
+        assert (excinfo.value.site, excinfo.value.kind) == ("a.b", "c")
+
+    def test_no_plan_is_a_cheap_no(self):
+        assert faults.should("web.fetch", "error") is False
+
+
+# ---------------------------------------------------------------------------
+# Retry / backoff / fetch-failure revalidation.
+# ---------------------------------------------------------------------------
+
+
+class _TransientThenPage:
+    """Raises TransientFetchError ``failures`` times, then serves."""
+
+    def __init__(self, failures, page="<html>Published: 2013-06-03</html>"):
+        self.failures = failures
+        self.page = page
+        self.calls = 0
+
+    def fetch(self, url):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise TransientFetchError("flaky")
+        return self.page
+
+
+def fast_retry(**kwargs):
+    kwargs.setdefault("sleep", lambda delay: None)
+    return RetryPolicy(**kwargs)
+
+
+class TestRetryAndBackoff:
+    def test_backoff_is_seeded_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.25, seed=5)
+        delays = [policy.backoff(n, token="u") for n in range(1, 8)]
+        assert delays == [policy.backoff(n, token="u") for n in range(1, 8)]
+        assert all(0 < delay <= 0.25 for delay in delays)
+        # exponential growth until the ceiling
+        assert delays[2] > delays[0]
+
+    def test_transient_errors_are_retried_to_success(self):
+        client = _TransientThenPage(failures=2)
+        crawler = ReferenceCrawler(client, retry=fast_retry(attempts=3))
+        assert crawler.scrape_url("https://www.securityfocus.com/bid/1") == (
+            datetime.date(2013, 6, 3)
+        )
+        assert client.calls == 3
+        assert crawler.counters["fetch_transient"] == 2
+        assert crawler.counters["fetch_retried"] == 2
+
+    def test_exhausted_retries_fail_permanently_for_this_run(self):
+        client = _TransientThenPage(failures=99)
+        crawler = ReferenceCrawler(client, retry=fast_retry(attempts=3))
+        assert crawler.scrape_url("https://www.securityfocus.com/bid/2") is None
+        assert client.calls == 3
+        assert crawler.counters["fetch_exhausted"] == 1
+
+    def test_injected_fetch_faults_drain_within_the_retry_budget(self):
+        install_plan("web.fetch:error=2")
+        client = _TransientThenPage(failures=0)
+        crawler = ReferenceCrawler(client, retry=fast_retry(attempts=3))
+        assert crawler.scrape_url("https://www.securityfocus.com/bid/3") == (
+            datetime.date(2013, 6, 3)
+        )
+        assert faults.active().fired("web.fetch", "error") == 2
+
+    def test_fetch_failed_cache_entries_are_revalidated(self, tmp_path):
+        url = "https://www.securityfocus.com/bid/4"
+        cache = CrawlCache(tmp_path / "cache.json")
+        broken = ReferenceCrawler(
+            _TransientThenPage(failures=99), cache=cache, retry=fast_retry(attempts=2)
+        )
+        assert broken.scrape_url(url) is None
+        assert cache.get(url) == ("fetch_failed", None)
+        attempts, when = cache.failure(url)
+        assert attempts == 1 and when > 0
+
+        healed = ReferenceCrawler(
+            _TransientThenPage(failures=0), cache=cache, retry=fast_retry()
+        )
+        assert healed.scrape_url(url) == datetime.date(2013, 6, 3)
+        assert healed.counters["cache_revalidate"] == 1
+        assert cache.get(url) != ("fetch_failed", None)
+        assert cache.failure(url) is None
+
+    def test_per_fetch_timeout_raises_timeout_error(self):
+        import time as _time
+
+        policy = RetryPolicy(timeout=0.05)
+        with pytest.raises(TimeoutError):
+            policy.call(_time.sleep, 0.5)
+
+
+class TestTornCacheWrites:
+    def test_torn_save_is_retryable_and_never_half_loaded(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CrawlCache(path)
+        cache.put(
+            "https://example.org/a", "date_extracted", datetime.date(2013, 1, 2)
+        )
+        install_plan("cache.save:torn=1")
+        with pytest.raises(faults.FaultInjected):
+            cache.save()
+        with pytest.raises(json.JSONDecodeError):  # the tear is real
+            json.loads(path.read_text(encoding="utf-8"))
+        assert cache.save() is not None  # budget spent: retry succeeds
+        assert CrawlCache(path).get("https://example.org/a") == (
+            "date_extracted",
+            datetime.date(2013, 1, 2),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Artifact store: torn publishes and the recovery sweep.
+# ---------------------------------------------------------------------------
+
+
+def _copy_store(artifact_root, tmp_path):
+    root = tmp_path / "store"
+    shutil.copytree(artifact_root, root)
+    return root
+
+
+def _clone_version(root, source, target):
+    """A valid copy of ``source`` under ``target`` (manifest re-stamped)."""
+    shutil.copytree(root / source, root / target)
+    manifest_path = root / target / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest["version"] = target
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+
+
+class TestTornArtifactWrites:
+    def test_torn_export_self_heals_and_leaves_quarantinable_debris(
+        self, artifact_root, tmp_path, small_rectified
+    ):
+        from repro.artifacts import (
+            list_versions,
+            load_artifacts,
+            read_current,
+            recover_store,
+        )
+
+        root = _copy_store(artifact_root, tmp_path)
+        install_plan("store.write:torn=1")
+        version = small_rectified.export_artifacts(root)
+        # the torn directory consumed v0002; the export claimed v0003
+        assert version == "v0003"
+        assert read_current(root) == "v0003"
+        assert not (root / "v0002" / "predictions.json.gz").exists()
+        assert load_artifacts(root).version == "v0003"
+
+        report = recover_store(root)
+        assert report.quarantined == ("v0002",)
+        assert (root / ".quarantine" / "v0002").is_dir()
+        assert list_versions(root) == ["v0001", "v0003"]
+        assert read_current(root) == "v0003"
+
+
+class TestRecoverySweep:
+    def test_sweep_quarantines_repairs_and_is_idempotent(
+        self, artifact_root, tmp_path
+    ):
+        from repro.artifacts import read_current, recover_store
+
+        root = _copy_store(artifact_root, tmp_path)
+        (root / ".stage-dead.tmp").mkdir()
+        _clone_version(root, "v0001", "v0002")
+        (root / "v0002" / "snapshot.json.gz").unlink()  # torn mid-publish
+        (root / "CURRENT").write_text("v0002\n", encoding="utf-8")  # dangling
+
+        report = recover_store(root)
+        assert report.acted
+        assert report.staging_removed == (".stage-dead.tmp",)
+        assert report.quarantined == ("v0002",)
+        assert report.current_before == "v0002"
+        assert report.current_after == "v0001"
+        assert read_current(root) == "v0001"
+        assert "repaired CURRENT" in report.summary()
+
+        again = recover_store(root)
+        assert not again.acted
+        assert again.valid_versions == ("v0001",)
+
+    def test_sweep_gc_keeps_newest_and_current(self, artifact_root, tmp_path):
+        from repro.artifacts import list_versions, read_current, recover_store
+
+        root = _copy_store(artifact_root, tmp_path)
+        _clone_version(root, "v0001", "v0002")
+        _clone_version(root, "v0001", "v0003")
+        (root / "CURRENT").write_text("v0002\n", encoding="utf-8")
+
+        report = recover_store(root, keep=1)
+        # newest (v0003) and the CURRENT target (v0002) both survive
+        assert report.gc_removed == ("v0001",)
+        assert list_versions(root) == ["v0002", "v0003"]
+        assert read_current(root) == "v0002"
+
+    def test_sweep_on_missing_store_is_a_noop(self, tmp_path):
+        from repro.artifacts import recover_store
+
+        report = recover_store(tmp_path / "nothing-here")
+        assert not report.acted
+        assert report.valid_versions == ()
+
+
+# ---------------------------------------------------------------------------
+# Serving: reload circuit breaker and supervised workers.
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def _service(self, root, **kwargs):
+        from repro.service import NvdService
+
+        kwargs.setdefault("reload_interval", 0.0)
+        kwargs.setdefault("breaker_threshold", 3)
+        kwargs.setdefault("breaker_cooldown", 0.05)
+        return NvdService(root, **kwargs)
+
+    def test_breaker_opens_after_consecutive_failures_and_pins_version(
+        self, artifact_root, tmp_path
+    ):
+        service = self._service(_copy_store(artifact_root, tmp_path))
+        service.root.joinpath("CURRENT").write_text("v9999\n", encoding="utf-8")
+        for _ in range(3):
+            assert service.maybe_reload() is False
+        assert service.breaker_open
+        assert service.degraded
+        assert service.state.version == "v0001"  # last good version pinned
+        payload = service.metrics_payload()
+        assert payload["counters"]["reload_failures"] == 3
+        assert payload["breaker"]["open"] is True
+        assert payload["degraded"] is True
+        status, body = service.handle("GET", "/healthz", None)
+        assert status == 200
+        assert json.loads(body)["status"] == "degraded"
+        # while open, reloads are not even attempted
+        service.maybe_reload()
+        assert service.metrics_payload()["counters"]["reload_failures"] == 3
+
+    def test_breaker_closes_after_cooldown_and_a_good_reload(
+        self, artifact_root, tmp_path
+    ):
+        import time as _time
+
+        root = _copy_store(artifact_root, tmp_path)
+        service = self._service(root)
+        (root / "CURRENT").write_text("v9999\n", encoding="utf-8")
+        for _ in range(3):
+            service.maybe_reload()
+        assert service.breaker_open
+        _clone_version(root, "v0001", "v0002")
+        (root / "CURRENT").write_text("v0002\n", encoding="utf-8")
+        _time.sleep(0.06)  # past the cooldown: half-open probe allowed
+        assert service.maybe_reload() is True
+        assert service.state.version == "v0002"
+        assert not service.breaker_open
+        assert not service.degraded
+        assert service.metrics_payload()["breaker"]["consecutive_failures"] == 0
+
+    def test_injected_reload_fault_counts_then_recovers(
+        self, artifact_root, tmp_path
+    ):
+        root = _copy_store(artifact_root, tmp_path)
+        service = self._service(root)
+        _clone_version(root, "v0001", "v0002")
+        (root / "CURRENT").write_text("v0002\n", encoding="utf-8")
+        install_plan("serve.reload:error=1")
+        assert service.maybe_reload() is False  # the injected failure
+        assert service.metrics_payload()["counters"]["reload_failures"] == 1
+        assert service.maybe_reload() is True  # budget spent: swap lands
+        assert service.state.version == "v0002"
+
+    def test_degraded_follows_supervisor_status_file(
+        self, artifact_root, tmp_path
+    ):
+        root = _copy_store(artifact_root, tmp_path)
+        service = self._service(root)
+        assert not service.degraded
+        (root / ".supervisor.json").write_text(
+            json.dumps({"degraded": True, "abandoned_workers": [1]}),
+            encoding="utf-8",
+        )
+        assert service.degraded
+        assert service.metrics_payload()["supervisor"]["degraded"] is True
+
+
+def _square(value):
+    return value * value
+
+
+class TestPoolWorkerDeath:
+    def test_killed_worker_is_respawned_and_the_map_retried(self):
+        from repro.runtime import make_executor
+
+        install_plan("worker:kill=1")
+        before = perf.get_recorder().counters.get("runtime.pool_respawns", 0)
+        executor = make_executor(2, "process")
+        try:
+            result = executor.map(_square, list(range(8)))
+        finally:
+            executor.close()
+        assert result == [n * n for n in range(8)]
+        assert faults.active().fired("worker", "kill") == 1
+        after = perf.get_recorder().counters.get("runtime.pool_respawns", 0)
+        assert after == before + 1
+
+
+# ---------------------------------------------------------------------------
+# Adversarial synthetic inputs.
+# ---------------------------------------------------------------------------
+
+
+class TestAdversarialInputs:
+    @pytest.fixture(scope="class")
+    def adversarial_bundle(self):
+        from repro.synth import GeneratorConfig, generate
+
+        return generate(GeneratorConfig(n_cves=240, seed=11, adversarial_rate=0.08))
+
+    def test_scenarios_are_recorded_and_present(self, adversarial_bundle):
+        truth = adversarial_bundle.truth
+        assert set(truth.adversarial_cves) == {
+            "empty_description", "colliding_alias", "missing_cvss",
+        }
+        snapshot = adversarial_bundle.snapshot
+        for cve_id in truth.adversarial_cves["empty_description"]:
+            assert snapshot.get(cve_id).descriptions == ()
+        for cve_id in truth.adversarial_cves["missing_cvss"]:
+            entry = snapshot.get(cve_id)
+            assert entry.cvss_v2 is None and entry.cvss_v3 is None
+        colliding = {
+            snapshot.get(cve_id).cpes[0].vendor
+            for cve_id in truth.adversarial_cves["colliding_alias"]
+        }
+        assert len(colliding) == 1  # one alias shared across vendors
+
+    def test_default_rate_leaves_generation_untouched(self):
+        from repro.synth import GeneratorConfig, generate
+
+        plain = generate(GeneratorConfig(n_cves=240, seed=11))
+        explicit = generate(GeneratorConfig(n_cves=240, seed=11, adversarial_rate=0.0))
+        assert plain.snapshot.entries == explicit.snapshot.entries
+        assert plain.truth.adversarial_cves == {}
+
+    def test_clean_survives_an_adversarial_snapshot(self, adversarial_bundle):
+        from repro.core import (
+            EngineConfig,
+            clean,
+            from_ground_truth,
+            product_oracle_from_truth,
+        )
+
+        rectified = clean(
+            adversarial_bundle.snapshot,
+            adversarial_bundle.web,
+            from_ground_truth(adversarial_bundle.truth.vendor_map),
+            product_oracle_from_truth(adversarial_bundle.truth.product_map),
+            engine_config=EngineConfig(models=("lr",), epochs=2),
+        )
+        assert rectified.report.n_cves == 240
+
+    def test_ingest_survives_adversarial_delta(
+        self, artifact_root, tmp_path, adversarial_bundle
+    ):
+        from repro.artifacts import ingest_delta, load_artifacts
+
+        root = _copy_store(artifact_root, tmp_path)
+        truth = adversarial_bundle.truth
+        hostile_ids = set().union(*truth.adversarial_cves.values())
+        delta = [
+            entry
+            for entry in adversarial_bundle.snapshot.entries
+            if entry.cve_id in hostile_ids
+        ]
+        result = ingest_delta(root, delta)
+        assert result.n_delta == len(delta)
+        assert load_artifacts(root).version == result.version
+
+    def test_corrupt_feed_parses_leniently(self, adversarial_bundle):
+        from repro.nvd import entries_to_feed
+        from repro.synth import corrupt_feed
+
+        entries = list(adversarial_bundle.snapshot.entries)
+        feed = entries_to_feed(entries)
+        before = perf.get_recorder().counters.get("feed.malformed_cvss", 0)
+        corrupted = corrupt_feed(feed, rate=0.3, seed=1)
+        assert feed == entries_to_feed(entries)  # input untouched
+        parsed = entries_from_feed(corrupted)
+        assert len(parsed) == len(entries)
+        dropped = perf.get_recorder().counters.get("feed.malformed_cvss", 0) - before
+        assert dropped > 0
+        assert sum(1 for e in parsed if e.cvss_v2 is None) >= dropped / 2
