@@ -3,9 +3,19 @@
 Batch subcommands::
 
     python -m repro generate  --n-cves 5000 --out snapshot.json.gz
+    python -m repro synth     --list
+    python -m repro synth     --scenario chaos-names --out chaos.json.gz
+    python -m repro synth     --scenario baseline --set scale=1.5 --show
     python -m repro stats     snapshot.json.gz [--json]
     python -m repro fix-cwe   snapshot.json.gz --out fixed.json.gz
     python -m repro demo      --n-cves 3000 [--artifacts DIR]
+
+``synth`` is the scenario-engine front end (see
+:mod:`repro.synth.scenario`): it generates a feed under a named preset
+from the scenario registry, optionally with ``--set key=value``
+parameter overrides validated against the declared schema.  ``generate``
+stays the raw, scenario-free path (equivalent to
+``synth --scenario baseline``).
 
 Serving subcommands (see ``docs/architecture.md``)::
 
@@ -63,6 +73,60 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     bundle = generate(GeneratorConfig(n_cves=args.n_cves, seed=args.seed))
     save_feed(bundle.snapshot.entries, args.out)
     print(f"wrote {len(bundle.snapshot)} CVEs to {args.out}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.synth import ScenarioError, get_scenario, scenario_names
+    from repro.synth.scenario import PARAMETER_SCHEMA, with_overrides
+
+    if args.list:
+        rows = []
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            knobs = ", ".join(
+                f"{parameter}={getattr(scenario, parameter)}"
+                for parameter in PARAMETER_SCHEMA
+                if getattr(scenario, parameter)
+                != getattr(type(scenario)(), parameter)
+            )
+            rows.append([name, knobs or "(all defaults)"])
+        print(render_table(["Scenario", "Non-default parameters"], rows))
+        return 0
+
+    try:
+        scenario = get_scenario(args.scenario)
+        if args.set:
+            overrides = {}
+            for item in args.set:
+                key, _, value = item.partition("=")
+                if not _:
+                    raise ScenarioError(
+                        f"--set expects key=value, got {item!r}"
+                    )
+                overrides[key] = value
+            scenario = with_overrides(scenario, overrides)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.show:
+        print(json.dumps(scenario.to_json(), indent=2, sort_keys=True))
+        return 0
+    if not args.out:
+        print("error: --out is required (or use --list / --show)", file=sys.stderr)
+        return 2
+
+    try:
+        bundle = scenario.generate(args.n_cves, args.seed)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    save_feed(bundle.snapshot.entries, args.out)
+    print(
+        f"wrote {len(bundle.snapshot)} CVEs to {args.out} "
+        f"(scenario {scenario.name}, seed {args.seed})"
+    )
     return 0
 
 
@@ -220,6 +284,36 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--seed", type=int, default=2018)
     cmd.add_argument("--out", required=True)
     cmd.set_defaults(func=_cmd_generate)
+
+    cmd = commands.add_parser(
+        "synth",
+        help="generate a feed under a named scenario preset "
+        "(parametric scenario engine)",
+    )
+    cmd.add_argument(
+        "--scenario", default="baseline", metavar="NAME",
+        help="scenario preset from the registry (default: baseline)",
+    )
+    cmd.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override one scenario parameter (repeatable; validated "
+        "against the declared parameter schema)",
+    )
+    cmd.add_argument(
+        "--n-cves", type=int, default=5000,
+        help="base population before the scenario's scale multiplier",
+    )
+    cmd.add_argument("--seed", type=int, default=2018)
+    cmd.add_argument("--out", default=None)
+    cmd.add_argument(
+        "--list", action="store_true",
+        help="list the registered scenario presets and exit",
+    )
+    cmd.add_argument(
+        "--show", action="store_true",
+        help="print the resolved scenario as canonical JSON and exit",
+    )
+    cmd.set_defaults(func=_cmd_synth)
 
     cmd = commands.add_parser("stats", help="summarise a feed file")
     cmd.add_argument("feed")

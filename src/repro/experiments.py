@@ -22,10 +22,23 @@ from repro.core import (
 )
 from repro.synth import GeneratorConfig, SyntheticNvd, generate
 
-__all__ = ["PAPER_SCALE_CVES", "default_bundle", "default_rectified", "scale"]
+__all__ = [
+    "MAX_SCALE",
+    "PAPER_SCALE_CVES",
+    "default_bundle",
+    "default_rectified",
+    "scale",
+]
 
 #: The paper's snapshot size (§3).
 PAPER_SCALE_CVES = 107_200
+
+#: Ceiling on the experiment scale — the same 4x bound the scenario
+#: engine's ``scale`` parameter declares (`repro.synth.scenario`'s
+#: ``MAX_N_CVES`` = 4 x 107.2K).  Generator and pipeline memory grow
+#: linearly with the population, so scales past this are an accidental
+#: OOM, not an experiment.
+MAX_SCALE = 4.0
 
 
 def scale() -> float:
@@ -33,8 +46,9 @@ def scale() -> float:
 
     1.0 reproduces the paper's 107.2K-CVE snapshot; the default 0.075
     keeps a laptop benchmark run in minutes.  Raises :class:`ValueError`
-    for values that are not positive finite numbers, so a typo in the
-    environment fails loudly instead of producing an empty or absurd
+    for values that are not positive finite numbers — or exceed
+    :data:`MAX_SCALE` — so a typo in the environment fails loudly
+    instead of producing an empty, absurd, or memory-exhausting
     snapshot.
     """
     raw = os.environ.get("REPRO_SCALE", "0.075")
@@ -47,6 +61,14 @@ def scale() -> float:
     if not math.isfinite(value) or value <= 0:
         raise ValueError(
             f"REPRO_SCALE must be a positive finite number, got {raw!r}"
+        )
+    if value > MAX_SCALE:
+        raise ValueError(
+            f"REPRO_SCALE={raw} exceeds the {MAX_SCALE} ceiling "
+            f"({int(PAPER_SCALE_CVES * MAX_SCALE)} CVEs): memory grows "
+            "linearly with the population.  Use the scenario engine's "
+            "'scale' parameter (bounded by the same schema) for "
+            "populations past the paper's snapshot."
         )
     return value
 

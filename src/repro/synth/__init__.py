@@ -17,7 +17,10 @@ equivalents with the paper's *measured* statistical properties and
 - :mod:`repro.synth.webcorpus` — the in-memory web serving per-domain
   page layouts with embedded disclosure dates;
 - :mod:`repro.synth.otherdbs` — SecurityFocus / SecurityTracker vendor
-  tables sharing the NVD vendor universe.
+  tables sharing the NVD vendor universe;
+- :mod:`repro.synth.scenario` — the parametric scenario engine: named,
+  schema-validated points in the generator's parameter space plus the
+  replayable service-bench request trace.
 """
 
 from repro.synth.generator import (
@@ -28,16 +31,32 @@ from repro.synth.generator import (
     generate,
 )
 from repro.synth.otherdbs import OtherDatabase, generate_securityfocus, generate_securitytracker
+from repro.synth.scenario import (
+    SCENARIOS,
+    Scenario,
+    ScenarioError,
+    TraceSpec,
+    build_request_trace,
+    get_scenario,
+    scenario_names,
+)
 from repro.synth.webcorpus import SyntheticWeb
 
 __all__ = [
     "GeneratorConfig",
     "GroundTruth",
     "OtherDatabase",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioError",
     "SyntheticNvd",
     "SyntheticWeb",
+    "TraceSpec",
+    "build_request_trace",
     "corrupt_feed",
     "generate",
     "generate_securityfocus",
     "generate_securitytracker",
+    "get_scenario",
+    "scenario_names",
 ]

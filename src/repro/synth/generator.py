@@ -187,6 +187,16 @@ class GeneratorConfig:
     #: disables the pass entirely, keeping default bundles bit-identical
     #: to pre-adversarial builds.
     adversarial_rate: float = 0.0
+    #: per-year severity drift in [-1, 1]: positive values skew the
+    #: sampled v2 impact triples toward more severe outcomes in late
+    #: years (and milder in early years).  0.0 keeps sampling
+    #: stationary and bit-identical to pre-drift builds.
+    severity_drift: float = 0.0
+    #: multiplier on batch/event-day fractions (Table 8's backdating
+    #: and coordinated-disclosure concentrations) and on the weekday
+    #: skew sharpness.  1.0 reproduces the paper's measured values
+    #: bit-identically; 0.0 spreads disclosures uniformly.
+    burstiness: float = 1.0
 
 
 # ---------------------------------------------------------------------------
@@ -271,11 +281,29 @@ def _choose(options: list, weights: list[float], rng: np.random.Generator):
     return options[int(rng.choice(len(options), p=probabilities))]
 
 
-def _sample_v2(cwe_id: str, rng: np.random.Generator) -> CvssV2Metrics:
-    """Sample a realistic CVSS v2 vector conditioned on the CWE family."""
+#: Impact-letter severity ranks for the drift reweighting.
+_IMPACT_RANK = {"N": 0, "P": 1, "C": 2}
+
+
+def _sample_v2(
+    cwe_id: str, rng: np.random.Generator, drift: float = 0.0
+) -> CvssV2Metrics:
+    """Sample a realistic CVSS v2 vector conditioned on the CWE family.
+
+    ``drift`` (the scenario engine's per-year severity drift, already
+    mapped to this CVE's year) exponentially reweights the impact
+    triples by their severity rank; 0.0 leaves the profile untouched
+    and the RNG stream bit-identical.
+    """
     profile_key = _CWE_TO_PROFILE.get(cwe_id, "generic")
     profile = _IMPACT_PROFILES[profile_key]
-    impacts = _choose([p[0] for p in profile], [p[1] for p in profile], rng)
+    weights = [p[1] for p in profile]
+    if drift:
+        weights = [
+            weight * np.exp(drift * sum(_IMPACT_RANK[i] for i in triple))
+            for (triple, _), weight in zip(profile, weights)
+        ]
+    impacts = _choose([p[0] for p in profile], weights, rng)
     access_vector = _choose(["N", "A", "L"], [0.82, 0.03, 0.15], rng)
     if profile_key == "xss":
         # XSS needs victim interaction, which v2 encoded as Medium
@@ -378,20 +406,49 @@ def _year_bounds(year: int, config: GeneratorConfig) -> tuple[datetime.date, dat
     return start, end
 
 
+def _burst(fraction: float, config: GeneratorConfig) -> float:
+    """A batch-day fraction under the scenario burstiness multiplier.
+
+    1.0 returns ``fraction`` untouched (bit-identical baseline); other
+    values scale the concentration, capped below certainty so the
+    rejection machinery above it stays live.
+    """
+    if config.burstiness == 1.0:
+        return fraction
+    return min(0.97, fraction * config.burstiness)
+
+
+def _weekday_profile(config: GeneratorConfig) -> tuple[np.ndarray, float]:
+    """(weights, max weight) of the disclosure weekday skew.
+
+    Burstiness sharpens (>1) or flattens (<1, uniform at 0) the
+    Figure 2 profile; 1.0 returns the measured array itself so the
+    accept/reject draws stay bit-identical.
+    """
+    if config.burstiness == 1.0:
+        return _WEEKDAY_WEIGHTS, float(_WEEKDAY_WEIGHTS.max())
+    weights = _WEEKDAY_WEIGHTS ** config.burstiness
+    return weights, float(weights.max())
+
+
 def _sample_disclosure(
-    year: int, config: GeneratorConfig, rng: np.random.Generator
+    year: int,
+    config: GeneratorConfig,
+    rng: np.random.Generator,
+    weekday_profile: tuple[np.ndarray, float] | None = None,
 ) -> tuple[datetime.date, bool]:
     """A disclosure date in ``year``; True when it hit an event day."""
+    weekday_weights, weekday_max = weekday_profile or _weekday_profile(config)
     for month, day, fraction in _DISCLOSURE_BATCHES.get(year, ()):
-        if rng.random() < fraction:
+        if rng.random() < _burst(fraction, config):
             return datetime.date(year, month, day), True
     start, end = _year_bounds(year, config)
     span = (end - start).days
     while True:
         offset = int(rng.integers(0, span + 1))
         candidate = start + datetime.timedelta(days=offset)
-        # Accept/reject on the weekday profile (max weight 0.23).
-        if rng.random() < _WEEKDAY_WEIGHTS[candidate.weekday()] / 0.23:
+        # Accept/reject on the weekday profile (baseline max 0.23).
+        if rng.random() < weekday_weights[candidate.weekday()] / weekday_max:
             return candidate, False
 
 
@@ -416,12 +473,13 @@ def _sample_lag(
 def _apply_publication_batches(
     disclosure: datetime.date,
     published: datetime.date,
+    config: GeneratorConfig,
     rng: np.random.Generator,
 ) -> datetime.date:
     """Snap publication to a batch-insertion day (Table 8's artifact)."""
     for month, day, fraction in _PUBLICATION_BATCHES.get(disclosure.year, ()):
         batch_day = datetime.date(disclosure.year, month, day)
-        if batch_day >= disclosure and rng.random() < fraction:
+        if batch_day >= disclosure and rng.random() < _burst(fraction, config):
             return batch_day
     return published
 
@@ -448,7 +506,11 @@ def _build_vendor_variants(
     rng: np.random.Generator,
 ) -> tuple[dict[str, str], list[NameVariant]]:
     """Pick impacted vendors and mint their inconsistent variants."""
-    n_groups = max(1, int(len(universe) * config.vendor_group_fraction))
+    # Clamp so choice(replace=False) stays feasible at chaos-dialed
+    # group fractions (the scenario engine can push them toward 1).
+    n_groups = min(
+        len(universe), max(1, int(len(universe) * config.vendor_group_fraction))
+    )
     # Skew selection toward heavier vendors a little: real
     # inconsistencies hit well-known vendors too (Table 16).
     weights = np.array([spec.weight**0.3 for spec in universe])
@@ -668,22 +730,37 @@ def generate(config: GeneratorConfig | None = None) -> SyntheticNvd:
     )
     minted_counters: dict[str, int] = {}
 
+    weekday_profile = _weekday_profile(config)
+    year_span = max(1, config.end_year - config.start_year)
+
     for year, count in zip(years, year_counts):
+        # The scenario drift maps the year linearly onto
+        # [-severity_drift, +severity_drift]: early years sample milder
+        # triples, late years more severe ones.  0.0 disables the
+        # reweighting entirely (bit-identical baseline).
+        if config.severity_drift:
+            drift = config.severity_drift * (
+                2.0 * (year - config.start_year) / year_span - 1.0
+            )
+        else:
+            drift = 0.0
         for sequence in range(int(count)):
             cve_id = f"CVE-{year}-{1000 + sequence:04d}"
 
             # ---- type and severity ----------------------------------------
             true_cwe = cwe_ids[int(rng.choice(len(cwe_ids), p=cwe_weights))]
-            v2 = _sample_v2(true_cwe, rng)
+            v2 = _sample_v2(true_cwe, rng, drift)
             v3 = _derive_v3(v2, true_cwe, rng)
             v2_severity = severity_v2(score_v2(v2).base)
             severity_index = {"LOW": 0, "MEDIUM": 1, "HIGH": 2}[v2_severity.value]
 
             # ---- dates -------------------------------------------------------
-            disclosure, batch_disclosed = _sample_disclosure(year, config, rng)
+            disclosure, batch_disclosed = _sample_disclosure(
+                year, config, rng, weekday_profile
+            )
             lag = _sample_lag(severity_index, batch_disclosed, config, rng)
             published = disclosure + datetime.timedelta(days=lag)
-            published = _apply_publication_batches(disclosure, published, rng)
+            published = _apply_publication_batches(disclosure, published, config, rng)
             if published > config.snapshot_date:
                 published = config.snapshot_date
             if published < disclosure:

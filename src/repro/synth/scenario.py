@@ -1,0 +1,421 @@
+"""Parametric scenario engine over the synthetic-NVD generator.
+
+A :class:`Scenario` is a *named point in a declared parameter space*:
+datasets are functions of parameters, not files (the CORTEX
+generator-datasets model).  Every perf number, robustness claim, and
+test in this repository is made against a scenario — by default the
+``baseline`` one, which maps onto :class:`~repro.synth.GeneratorConfig`
+with all defaults and is therefore bit-identical to the pre-engine
+generation path.
+
+The parameter space is declared in :data:`PARAMETER_SCHEMA`; any value
+outside its bounds (or any unknown parameter) raises
+:class:`ScenarioError` at construction time, so an invalid scenario
+cannot exist.  Scenarios serialize to/from JSON bit-identically
+(:meth:`Scenario.to_json` / :meth:`Scenario.from_json`) and the same
+``(scenario, seed)`` pair always generates the same snapshot and
+ground truth.
+
+Parameters
+----------
+- ``scale`` — CVE-population multiplier over the caller's base
+  population (>1.0 grows the snapshot past the paper's 107.2K CVEs);
+- ``vendor_chaos`` — multiplier on alias minting and variant use: how
+  noisy §4.2's vendor/product naming gets;
+- ``severity_drift`` — per-year severity drift: positive values make
+  late years sample systematically more severe CVSS v2 triples;
+- ``burstiness`` — multiplier on batch/event-day concentration (§4.1's
+  year-end backdating and coordinated-disclosure days) and on the
+  weekday skew;
+- ``adversarial_rate`` — fraction of entries mutated into hostile
+  shapes (PR 6's ``GeneratorConfig.adversarial_rate`` machinery);
+- ``trace`` — a :class:`TraceSpec`: the seeded, replayable request mix
+  the service bench fires (previously hard-coded in
+  ``tools/bench_service.py``).
+
+The named presets live in :data:`SCENARIOS`:
+
+====================  =====================================================
+``baseline``          the paper's measured distribution (strict
+                      generalization of the old default path)
+``chaos-names``       vendor-name chaos dialed up 4x
+``drift``             severity drifts upward across years
+``burst``             disclosure/publication days concentrate 3x harder
+``adversarial``       5% of entries mutated into hostile shapes
+``xl``                1.5x the base population (past the paper's snapshot
+                      when the base is full scale)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import random
+import urllib.parse
+
+from repro.synth.generator import GeneratorConfig
+
+__all__ = [
+    "MAX_N_CVES",
+    "PARAMETER_SCHEMA",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioError",
+    "TraceSpec",
+    "build_request_trace",
+    "get_scenario",
+    "scenario_names",
+    "with_overrides",
+]
+
+
+class ScenarioError(ValueError):
+    """An invalid scenario: unknown name, unknown parameter, or a
+    parameter value outside the declared schema bounds."""
+
+
+#: Hard population ceiling: 4x the paper's 107.2K-CVE snapshot.  The
+#: generator and the cleaning pipeline scale linearly in memory, so an
+#: unbounded ``scale`` would be an accidental OOM, not an experiment.
+MAX_N_CVES = 428_800
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ParamSpec:
+    """Declared bounds and documentation for one scenario parameter."""
+
+    doc: str
+    lo: float
+    hi: float
+
+
+#: The declared parameter space.  ``Scenario`` construction validates
+#: every field against these bounds and rejects anything else.
+PARAMETER_SCHEMA: dict[str, ParamSpec] = {
+    "scale": ParamSpec(
+        "CVE-population multiplier over the base population "
+        "(>1.0 grows past the paper's 107.2K CVEs)",
+        lo=0.001, hi=4.0,
+    ),
+    "vendor_chaos": ParamSpec(
+        "multiplier on vendor/product alias minting and variant use "
+        "(1.0 = the paper's measured §4.2 rates)",
+        lo=0.0, hi=10.0,
+    ),
+    "severity_drift": ParamSpec(
+        "per-year severity drift; positive skews late years toward "
+        "more severe CVSS v2 triples (0.0 = stationary)",
+        lo=-1.0, hi=1.0,
+    ),
+    "burstiness": ParamSpec(
+        "multiplier on batch/event-day fractions and the weekday skew "
+        "(1.0 = the paper's Table 8 concentrations; 0.0 = uniform)",
+        lo=0.0, hi=8.0,
+    ),
+    "adversarial_rate": ParamSpec(
+        "fraction of entries mutated into hostile shapes "
+        "(empty descriptions, colliding aliases, missing CVSS)",
+        lo=0.0, hi=0.5,
+    ),
+}
+
+#: Endpoint labels of the service-bench request trace, in the order the
+#: historical hard-coded mix listed them (order is part of the replay
+#: contract: it fixes the RNG draw sequence).
+TRACE_ENDPOINTS = ("cve", "vendor", "product", "predict", "stats", "healthz")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceSpec:
+    """Replayable request mix for the service bench.
+
+    Integer weights per endpoint; the defaults reproduce the mix
+    ``tools/bench_service.py`` used to hard-code, so the ``baseline``
+    trace is bit-identical to the historical workload at equal seed.
+    """
+
+    cve: int = 50
+    vendor: int = 15
+    product: int = 15
+    predict: int = 10
+    stats: int = 5
+    healthz: int = 5
+
+    def weights(self) -> tuple[tuple[str, int], ...]:
+        """(endpoint, weight) pairs in canonical trace order."""
+        return tuple((name, getattr(self, name)) for name in TRACE_ENDPOINTS)
+
+    def errors(self) -> list[str]:
+        found: list[str] = []
+        total = 0
+        for name, weight in self.weights():
+            if not isinstance(weight, int) or isinstance(weight, bool):
+                found.append(f"trace.{name} must be an integer, got {weight!r}")
+            elif weight < 0:
+                found.append(f"trace.{name} must be >= 0, got {weight}")
+            else:
+                total += weight
+        if not found and total == 0:
+            found.append("trace mix must have at least one positive weight")
+        return found
+
+    def to_json(self) -> dict:
+        return {name: weight for name, weight in self.weights()}
+
+    @classmethod
+    def from_json(cls, data: object) -> "TraceSpec":
+        if not isinstance(data, dict):
+            raise ScenarioError(f"trace must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - set(TRACE_ENDPOINTS))
+        if unknown:
+            raise ScenarioError(
+                f"unknown trace endpoint(s) {unknown}; known: {list(TRACE_ENDPOINTS)}"
+            )
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Scenario:
+    """One schema-validated point in the generator's parameter space."""
+
+    name: str = "baseline"
+    scale: float = 1.0
+    vendor_chaos: float = 1.0
+    severity_drift: float = 0.0
+    burstiness: float = 1.0
+    adversarial_rate: float = 0.0
+    trace: TraceSpec = TraceSpec()
+
+    def __post_init__(self) -> None:
+        errors = self.errors()
+        if errors:
+            raise ScenarioError(
+                f"invalid scenario {self.name!r}: " + "; ".join(errors)
+            )
+
+    # -- validation --------------------------------------------------------
+
+    def errors(self) -> list[str]:
+        """Every schema violation in this scenario (empty = valid)."""
+        found: list[str] = []
+        if not isinstance(self.name, str) or not self.name or self.name.split() != [self.name]:
+            found.append(f"name must be a non-empty token, got {self.name!r}")
+        for parameter, spec in PARAMETER_SCHEMA.items():
+            value = getattr(self, parameter)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                found.append(f"{parameter} must be a number, got {value!r}")
+            elif not math.isfinite(value):
+                found.append(f"{parameter} must be finite, got {value!r}")
+            elif not (spec.lo <= value <= spec.hi):
+                found.append(
+                    f"{parameter}={value!r} outside [{spec.lo}, {spec.hi}]"
+                )
+        if not isinstance(self.trace, TraceSpec):
+            found.append(f"trace must be a TraceSpec, got {type(self.trace).__name__}")
+        else:
+            found.extend(self.trace.errors())
+        return found
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """A canonical JSON-ready dict (round-trips bit-identically)."""
+        return {
+            "name": self.name,
+            "params": {
+                parameter: float(getattr(self, parameter))
+                for parameter in PARAMETER_SCHEMA
+            },
+            "trace": self.trace.to_json(),
+        }
+
+    def dumps(self) -> str:
+        """The canonical serialized form (stable key order)."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, data: object) -> "Scenario":
+        """Parse and validate a :meth:`to_json` document."""
+        if not isinstance(data, dict):
+            raise ScenarioError(f"scenario must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - {"name", "params", "trace"})
+        if unknown:
+            raise ScenarioError(f"unknown scenario key(s) {unknown}")
+        if "name" not in data:
+            raise ScenarioError("scenario is missing 'name'")
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise ScenarioError("scenario 'params' must be an object")
+        unknown = sorted(set(params) - set(PARAMETER_SCHEMA))
+        if unknown:
+            raise ScenarioError(
+                f"unknown scenario parameter(s) {unknown}; "
+                f"known: {sorted(PARAMETER_SCHEMA)}"
+            )
+        trace = TraceSpec.from_json(data["trace"]) if "trace" in data else TraceSpec()
+        return cls(name=data["name"], trace=trace, **params)
+
+    # -- the function: (scenario, base population, seed) → data ------------
+
+    def n_cves(self, base_n_cves: int) -> int:
+        """The scenario's population over a base population."""
+        value = max(1, round(base_n_cves * self.scale))
+        if value > MAX_N_CVES:
+            raise ScenarioError(
+                f"scenario {self.name!r}: scale={self.scale} over a base of "
+                f"{base_n_cves} CVEs yields {value} CVEs, past the "
+                f"{MAX_N_CVES} ceiling (memory grows linearly with the "
+                "population); lower the 'scale' scenario parameter or the "
+                "base population"
+            )
+        return value
+
+    def generator_config(self, base_n_cves: int, seed: int) -> GeneratorConfig:
+        """The :class:`GeneratorConfig` this scenario denotes.
+
+        The ``baseline`` scenario returns exactly
+        ``GeneratorConfig(n_cves=base_n_cves, seed=seed)`` — the engine
+        is a strict generalization of the old default path, so default
+        bundles stay bit-identical to pre-engine builds.
+        """
+        config = GeneratorConfig(n_cves=self.n_cves(base_n_cves), seed=seed)
+        if self.vendor_chaos != 1.0:
+            config = dataclasses.replace(
+                config,
+                vendor_group_fraction=min(
+                    0.9, config.vendor_group_fraction * self.vendor_chaos
+                ),
+                product_group_fraction=min(
+                    0.9, config.product_group_fraction * self.vendor_chaos
+                ),
+                variant_use_probability=min(
+                    0.9, config.variant_use_probability * self.vendor_chaos
+                ),
+            )
+        if self.severity_drift != 0.0:
+            config = dataclasses.replace(config, severity_drift=self.severity_drift)
+        if self.burstiness != 1.0:
+            config = dataclasses.replace(config, burstiness=self.burstiness)
+        if self.adversarial_rate != 0.0:
+            config = dataclasses.replace(config, adversarial_rate=self.adversarial_rate)
+        return config
+
+    def generate(self, base_n_cves: int, seed: int):
+        """Generate the scenario's bundle (snapshot + web + truth)."""
+        from repro.synth.generator import generate as _generate
+
+        return _generate(self.generator_config(base_n_cves, seed))
+
+
+# ---------------------------------------------------------------------------
+# The preset registry.
+# ---------------------------------------------------------------------------
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(name="baseline"),
+        Scenario(name="chaos-names", vendor_chaos=4.0),
+        Scenario(name="drift", severity_drift=0.6),
+        Scenario(name="burst", burstiness=3.0),
+        Scenario(name="adversarial", adversarial_rate=0.05),
+        Scenario(name="xl", scale=1.5),
+    )
+}
+
+
+def scenario_names() -> list[str]:
+    """The preset names, registration order."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a preset; unknown names raise :class:`ScenarioError`."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def with_overrides(scenario: Scenario, overrides: dict[str, str | float]) -> Scenario:
+    """``scenario`` with parameters overridden (CLI ``--set key=value``).
+
+    Values are parsed as numbers and validated against
+    :data:`PARAMETER_SCHEMA`; unknown keys or out-of-range values raise
+    :class:`ScenarioError`.
+    """
+    parsed: dict[str, float] = {}
+    for key, raw in overrides.items():
+        if key not in PARAMETER_SCHEMA:
+            raise ScenarioError(
+                f"unknown scenario parameter {key!r}; "
+                f"known: {sorted(PARAMETER_SCHEMA)}"
+            )
+        try:
+            parsed[key] = float(raw)
+        except (TypeError, ValueError):
+            raise ScenarioError(
+                f"scenario parameter {key} must be a number, got {raw!r}"
+            ) from None
+    return dataclasses.replace(scenario, **parsed)
+
+
+# ---------------------------------------------------------------------------
+# The request trace: the service bench's replayable workload.
+# ---------------------------------------------------------------------------
+
+
+def build_request_trace(
+    spec: TraceSpec,
+    snapshot,
+    n_requests: int,
+    seed: int,
+) -> list[tuple[str, str, bytes | None]]:
+    """A deterministic (label, path, POST body) request trace.
+
+    Replays bit-identically from ``(spec, snapshot, n_requests, seed)``
+    — the ``baseline`` spec reproduces the mix the service bench used
+    to hard-code.  ``snapshot`` is the served :class:`NvdSnapshot`.
+    """
+    from repro.cvss import v2_vector_string
+
+    rng = random.Random(seed)
+    entries = snapshot.entries
+    scored = [e for e in entries if e.cvss_v2 is not None]
+    vendors = snapshot.vendors()
+    pairs = [pair for e in entries[:2000] for pair in e.vendor_products()]
+    labels = [label for label, weight in spec.weights() for _ in range(weight)]
+    workload: list[tuple[str, str, bytes | None]] = []
+    for _ in range(n_requests):
+        label = rng.choice(labels)
+        if label == "predict" and not scored:
+            # An adversarial snapshot can strip CVSS vectors; degrade
+            # the request to /v1/stats instead of crashing the bench.
+            label = "stats"
+        if label == "product" and not pairs:
+            label = "stats"
+        if label == "cve":
+            workload.append((label, f"/v1/cve/{rng.choice(entries).cve_id}", None))
+        elif label == "vendor":
+            name = urllib.parse.quote(rng.choice(vendors))
+            workload.append((label, f"/v1/vendor/{name}", None))
+        elif label == "product":
+            vendor, product = rng.choice(pairs)
+            path = f"/v1/product/{urllib.parse.quote(vendor)}/{urllib.parse.quote(product)}"
+            workload.append((label, path, None))
+        elif label == "predict":
+            entry = rng.choice(scored)
+            body = json.dumps(
+                {
+                    "cvss_v2": v2_vector_string(entry.cvss_v2),
+                    "description": entry.description,
+                }
+            ).encode("utf-8")
+            workload.append((label, "/v1/severity/predict", body))
+        else:
+            workload.append((label, "/healthz" if label == "healthz" else "/v1/stats", None))
+    return workload

@@ -77,6 +77,7 @@ class TestBenchSchema:
     def _run(self, **overrides):
         run = {
             "label": "x",
+            "scenario": "baseline",
             "scale": 0.075,
             "n_cves": 8040,
             "epochs": 40,

@@ -1,0 +1,347 @@
+"""Scenario engine: schema validation, presets, determinism, invariants.
+
+The matrix suite behind the engine's contract: every preset generates
+deterministically per (scenario, seed), invalid parameters cannot
+construct a :class:`Scenario`, each preset moves the distribution the
+way its name promises, and the cleaning pipeline survives all of them.
+"""
+
+import dataclasses
+import json
+from collections import Counter
+
+import pytest
+
+from repro import cvss
+from repro.synth import (
+    SCENARIOS,
+    GeneratorConfig,
+    Scenario,
+    ScenarioError,
+    TraceSpec,
+    build_request_trace,
+    generate,
+    get_scenario,
+    scenario_names,
+)
+from repro.synth.scenario import MAX_N_CVES, PARAMETER_SCHEMA, with_overrides
+
+#: Base population and seed of the module's generation matrix.
+N = 1200
+SEED = 11
+
+PRESETS = scenario_names()
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """One generated bundle per registered preset."""
+    return {name: get_scenario(name).generate(N, SEED) for name in PRESETS}
+
+
+def _truth_key(bundle):
+    """The ground-truth fields that must replay bit-identically."""
+    truth = bundle.truth
+    return (
+        truth.disclosure,
+        truth.vendor_map,
+        truth.product_map,
+        truth.true_cwe,
+        truth.mislabeled_vendor_cves,
+        truth.mislabeled_product_cves,
+        {kind: set(ids) for kind, ids in truth.adversarial_cves.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry and schema validation.
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_expected_presets_registered(self):
+        assert PRESETS == [
+            "baseline", "chaos-names", "drift", "burst", "adversarial", "xl",
+        ]
+
+    def test_registry_keys_match_scenario_names(self):
+        assert all(SCENARIOS[name].name == name for name in SCENARIOS)
+
+    def test_every_preset_is_valid(self):
+        assert all(not SCENARIOS[name].errors() for name in SCENARIOS)
+
+    def test_unknown_preset_rejected_with_known_names(self):
+        with pytest.raises(ScenarioError, match="baseline"):
+            get_scenario("does-not-exist")
+
+
+class TestSchemaValidation:
+    @pytest.mark.parametrize(
+        "parameter,bad",
+        [(p, spec.lo - 0.5) for p, spec in PARAMETER_SCHEMA.items()]
+        + [(p, spec.hi + 0.5) for p, spec in PARAMETER_SCHEMA.items()],
+    )
+    def test_out_of_range_parameter_cannot_construct(self, parameter, bad):
+        with pytest.raises(ScenarioError, match=parameter):
+            Scenario(name="t", **{parameter: bad})
+
+    @pytest.mark.parametrize("parameter", sorted(PARAMETER_SCHEMA))
+    def test_non_finite_rejected(self, parameter):
+        with pytest.raises(ScenarioError, match="finite"):
+            Scenario(name="t", **{parameter: float("nan")})
+
+    @pytest.mark.parametrize("bad_name", ["", "two words"])
+    def test_name_must_be_a_token(self, bad_name):
+        with pytest.raises(ScenarioError, match="name"):
+            Scenario(name=bad_name)
+
+    def test_boolean_masquerading_as_number_rejected(self):
+        with pytest.raises(ScenarioError, match="number"):
+            Scenario(name="t", scale=True)
+
+    def test_negative_trace_weight_rejected(self):
+        with pytest.raises(ScenarioError, match="trace.cve"):
+            Scenario(name="t", trace=TraceSpec(cve=-1))
+
+    def test_all_zero_trace_rejected(self):
+        with pytest.raises(ScenarioError, match="positive weight"):
+            Scenario(
+                name="t",
+                trace=TraceSpec(
+                    cve=0, vendor=0, product=0, predict=0, stats=0, healthz=0
+                ),
+            )
+
+    def test_from_json_rejects_unknown_parameter(self):
+        with pytest.raises(ScenarioError, match="unknown scenario parameter"):
+            Scenario.from_json({"name": "t", "params": {"chaos_factor": 2.0}})
+
+    def test_from_json_rejects_unknown_trace_endpoint(self):
+        with pytest.raises(ScenarioError, match="unknown trace endpoint"):
+            Scenario.from_json({"name": "t", "trace": {"graphql": 10}})
+
+    def test_with_overrides_validates_keys_and_ranges(self):
+        baseline = get_scenario("baseline")
+        assert with_overrides(baseline, {"scale": "1.5"}).scale == 1.5
+        with pytest.raises(ScenarioError, match="unknown scenario parameter"):
+            with_overrides(baseline, {"chaos": "2"})
+        with pytest.raises(ScenarioError, match="number"):
+            with_overrides(baseline, {"scale": "lots"})
+        with pytest.raises(ScenarioError, match="scale"):
+            with_overrides(baseline, {"scale": "99"})
+
+
+class TestScaleGuard:
+    def test_population_ceiling_names_the_scale_parameter(self):
+        xl = get_scenario("xl")
+        with pytest.raises(ScenarioError, match="'scale'"):
+            xl.n_cves(MAX_N_CVES)  # 1.5x the ceiling
+
+    def test_ceiling_itself_is_allowed(self):
+        assert Scenario(name="t", scale=4.0).n_cves(107_200) == MAX_N_CVES
+
+    def test_population_rounds_and_never_hits_zero(self):
+        assert Scenario(name="t", scale=0.001).n_cves(100) == 1
+        assert get_scenario("xl").n_cves(N) == round(N * 1.5)
+
+
+# ---------------------------------------------------------------------------
+# Serialization round-trip (property-style over a parameter grid).
+# ---------------------------------------------------------------------------
+
+
+def _grid():
+    """Valid scenarios spanning the corners of the parameter space."""
+    scenarios = [SCENARIOS[name] for name in PRESETS]
+    for parameter, spec in PARAMETER_SCHEMA.items():
+        for value in (spec.lo, spec.hi, (spec.lo + spec.hi) / 2):
+            scenarios.append(
+                dataclasses.replace(
+                    Scenario(name=f"grid-{parameter}"), **{parameter: value}
+                )
+            )
+    scenarios.append(
+        Scenario(
+            name="trace-heavy",
+            trace=TraceSpec(cve=1, vendor=0, product=0, predict=99, stats=0, healthz=0),
+        )
+    )
+    return scenarios
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scenario", _grid(), ids=lambda s: s.name)
+    def test_json_round_trip_is_bit_identical(self, scenario):
+        serialized = scenario.dumps()
+        restored = Scenario.from_json(json.loads(serialized))
+        assert restored == scenario
+        assert restored.dumps() == serialized
+
+    def test_parse_is_key_order_independent(self):
+        document = json.loads(get_scenario("drift").dumps())
+        shuffled = {key: document[key] for key in reversed(list(document))}
+        assert Scenario.from_json(shuffled) == get_scenario("drift")
+
+
+# ---------------------------------------------------------------------------
+# Determinism and baseline equivalence.
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_equal_scenario_and_seed_replay_identically(self, name, matrix):
+        replay = get_scenario(name).generate(N, SEED)
+        assert replay.snapshot.entries == matrix[name].snapshot.entries
+        assert _truth_key(replay) == _truth_key(matrix[name])
+
+    def test_different_seed_changes_the_bundle(self):
+        a = get_scenario("baseline").generate(400, 1)
+        b = get_scenario("baseline").generate(400, 2)
+        assert a.snapshot.entries != b.snapshot.entries
+
+
+class TestBaselineEquivalence:
+    def test_baseline_config_is_the_plain_default(self):
+        config = get_scenario("baseline").generator_config(N, SEED)
+        assert config == GeneratorConfig(n_cves=N, seed=SEED)
+
+    def test_baseline_bundle_matches_pre_engine_path(self, matrix):
+        plain = generate(GeneratorConfig(n_cves=N, seed=SEED))
+        assert plain.snapshot.entries == matrix["baseline"].snapshot.entries
+        assert _truth_key(plain) == _truth_key(matrix["baseline"])
+
+
+# ---------------------------------------------------------------------------
+# Distributional invariants per preset.
+# ---------------------------------------------------------------------------
+
+
+def _severity_year_gap(bundle) -> float:
+    """Mean v2 base score of the last five years minus the first five."""
+    by_year: dict[str, list[float]] = {}
+    for entry in bundle.snapshot.entries:
+        if entry.cvss_v2 is not None:
+            year = entry.cve_id.split("-")[1]
+            by_year.setdefault(year, []).append(cvss.score_v2(entry.cvss_v2).base)
+    years = sorted(by_year)
+    early = [score for year in years[:5] for score in by_year[year]]
+    late = [score for year in years[-5:] for score in by_year[year]]
+    return sum(late) / len(late) - sum(early) / len(early)
+
+
+def _top10_disclosure_share(bundle) -> float:
+    """Fraction of CVEs disclosed on the ten busiest calendar days."""
+    days = Counter(bundle.truth.disclosure.values())
+    return sum(count for _, count in days.most_common(10)) / len(bundle.truth.disclosure)
+
+
+class TestPresetInvariants:
+    def test_chaos_names_mints_more_aliases(self, matrix):
+        baseline = matrix["baseline"].truth
+        chaotic = matrix["chaos-names"].truth
+        assert len(chaotic.vendor_map) >= 3 * len(baseline.vendor_map)
+        assert (
+            len(chaotic.mislabeled_vendor_cves)
+            >= 5 * len(baseline.mislabeled_vendor_cves)
+        )
+
+    def test_chaos_names_aliases_still_resolve(self, matrix):
+        truth = matrix["chaos-names"].truth
+        canonical = {spec.name for spec in truth.universe}
+        assert truth.vendor_map
+        assert all(target in canonical for target in truth.vendor_map.values())
+
+    def test_drift_pushes_late_years_more_severe(self, matrix):
+        assert (
+            _severity_year_gap(matrix["drift"])
+            > _severity_year_gap(matrix["baseline"]) + 0.5
+        )
+
+    def test_burst_concentrates_disclosure_days(self, matrix):
+        assert (
+            _top10_disclosure_share(matrix["burst"])
+            > 1.5 * _top10_disclosure_share(matrix["baseline"])
+        )
+
+    def test_adversarial_mutates_the_declared_kinds(self, matrix):
+        adversarial = matrix["adversarial"].truth.adversarial_cves
+        assert set(adversarial) == {
+            "empty_description", "colliding_alias", "missing_cvss",
+        }
+        cve_ids = {e.cve_id for e in matrix["adversarial"].snapshot.entries}
+        for kind, ids in adversarial.items():
+            assert ids, kind
+            assert ids <= cve_ids, kind
+        assert not matrix["baseline"].truth.adversarial_cves
+
+    def test_xl_grows_past_the_base_population(self, matrix):
+        assert len(matrix["xl"].snapshot) == round(N * 1.5)
+        assert len(matrix["baseline"].snapshot) == N
+
+
+# ---------------------------------------------------------------------------
+# The replayable request trace.
+# ---------------------------------------------------------------------------
+
+
+class TestRequestTrace:
+    def test_baseline_trace_is_the_historical_mix(self):
+        assert TraceSpec().weights() == (
+            ("cve", 50), ("vendor", 15), ("product", 15),
+            ("predict", 10), ("stats", 5), ("healthz", 5),
+        )
+
+    def test_trace_replays_bit_identically(self, matrix):
+        snapshot = matrix["baseline"].snapshot
+        first = build_request_trace(TraceSpec(), snapshot, 200, seed=7)
+        second = build_request_trace(TraceSpec(), snapshot, 200, seed=7)
+        assert first == second
+        assert len(first) == 200
+
+    def test_trace_honors_the_weights(self, matrix):
+        snapshot = matrix["baseline"].snapshot
+        spec = TraceSpec(cve=1, vendor=0, product=0, predict=0, stats=0, healthz=0)
+        trace = build_request_trace(spec, snapshot, 50, seed=3)
+        assert all(label == "cve" for label, _, _ in trace)
+        assert all(path.startswith("/v1/cve/") for _, path, _ in trace)
+
+    def test_predict_degrades_when_no_entry_is_scored(self, matrix):
+        from repro.nvd import NvdSnapshot
+
+        unscored = NvdSnapshot(
+            [
+                entry.replace(cvss_v2=None)
+                for entry in matrix["baseline"].snapshot.entries[:100]
+            ]
+        )
+        spec = TraceSpec(cve=0, vendor=0, product=0, predict=1, stats=0, healthz=0)
+        trace = build_request_trace(spec, unscored, 20, seed=5)
+        assert all(label == "stats" for label, _, _ in trace)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline-level smoke: clean() across the matrix.
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineSmoke:
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_clean_survives_every_preset(self, name, matrix):
+        from repro.core import (
+            EngineConfig,
+            clean,
+            from_ground_truth,
+            product_oracle_from_truth,
+        )
+
+        bundle = matrix[name]
+        rectified = clean(
+            bundle.snapshot,
+            bundle.web,
+            from_ground_truth(bundle.truth.vendor_map),
+            product_oracle_from_truth(bundle.truth.product_map),
+            engine_config=EngineConfig(models=("lr",), epochs=2, seed=2),
+        )
+        assert len(rectified.snapshot) == len(bundle.snapshot)
+        assert rectified.report.n_cves == len(bundle.snapshot)

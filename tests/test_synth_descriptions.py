@@ -43,6 +43,42 @@ class TestDescribe:
             assert extract_cwe_ids(describe(cwe_id, "a", "b", "1", rng)) == []
 
 
+class TestEdgeCases:
+    """Unicode and zero-length names must never break description text."""
+
+    def test_unicode_vendor_renders_title_cased(self):
+        # Not every template mentions the vendor; across a handful of
+        # draws at least one must, and every draw must render text.
+        rendered = [
+            describe("CWE-89", "café_münchen", "widget", "1.0", np.random.default_rng(seed))
+            for seed in range(8)
+        ]
+        assert all(text.strip() for text in rendered)
+        assert any("Café München" in text for text in rendered)
+
+    def test_non_latin_product_survives(self):
+        text = describe(
+            "CWE-79", "데이터", "엔진_studio", "2.0", np.random.default_rng(32)
+        )
+        assert "엔진 Studio" in text
+        assert "2.0" in text
+
+    def test_zero_length_product_still_yields_text(self):
+        text = describe("CWE-89", "acme", "", "1.0", np.random.default_rng(33))
+        assert text.strip()
+        assert "SQL" in text
+
+    def test_all_empty_names_still_yield_text(self):
+        text = describe("CWE-89", "", "", "", np.random.default_rng(34))
+        assert text.strip()
+        assert extract_cwe_ids(text) == []
+
+    def test_unicode_description_is_deterministic(self):
+        a = describe("CWE-22", "café", "файл_manager", "1.0", np.random.default_rng(35))
+        b = describe("CWE-22", "café", "файл_manager", "1.0", np.random.default_rng(35))
+        assert a == b
+
+
 class TestEvaluatorComment:
     def test_embeds_id_and_name(self):
         comment = evaluator_comment("CWE-835")

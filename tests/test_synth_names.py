@@ -81,6 +81,61 @@ class TestVariants:
             make_variant("microsoft", InconsistencyKind.PRODUCT_AS_VENDOR, rng)
 
 
+class TestEdgeCases:
+    """Degenerate and non-ASCII inputs the generator may feed through."""
+
+    def test_unicode_names_tokenize_and_abbreviate(self):
+        assert tokenize_name("café_münchen") == ("café", "münchen")
+        assert abbreviate("café_münchen") == "cm"
+        assert tokenize_name("데이터_엔진") == ("데이터", "엔진")
+
+    @pytest.mark.parametrize("kind", list(InconsistencyKind))
+    def test_unicode_variant_still_differs(self, kind):
+        if kind == InconsistencyKind.PRODUCT_AS_VENDOR:
+            pytest.skip("built by the generator, not make_variant")
+        rng = np.random.default_rng(21)
+        variant = make_variant("café_münchen", kind, rng)
+        assert variant.variant != "café_münchen"
+        assert variant.canonical == "café_münchen"
+
+    def test_zero_length_name_tokenizes_empty(self):
+        assert tokenize_name("") == ()
+        assert abbreviate("") == ""
+
+    @pytest.mark.parametrize("kind", list(InconsistencyKind))
+    def test_zero_length_name_never_yields_empty_variant(self, kind):
+        if kind == InconsistencyKind.PRODUCT_AS_VENDOR:
+            pytest.skip("built by the generator, not make_variant")
+        rng = np.random.default_rng(22)
+        variant = make_variant("", kind, rng)
+        assert variant.variant != ""
+        assert variant.canonical == ""
+
+    def test_abbreviation_collision_keeps_each_canonical(self):
+        # Distinct vendors can mint the *same* alias — the ground-truth
+        # records must keep their own canonicals so the collision stays
+        # resolvable.
+        rng = np.random.default_rng(23)
+        a = make_variant("internet-explorer", InconsistencyKind.ABBREVIATION, rng)
+        b = make_variant("intrusion_engine", InconsistencyKind.ABBREVIATION, rng)
+        assert a.variant == b.variant == "ie"
+        assert a.canonical != b.canonical
+
+    def test_chaos_max_generation_keeps_alias_map_consistent(self):
+        # At the schema's vendor_chaos ceiling the variant volume is
+        # maximal; every minted alias must still resolve to exactly one
+        # canonical vendor from the universe.
+        from repro.synth import Scenario
+
+        truth = Scenario(name="max-chaos", vendor_chaos=10.0).generate(800, 5).truth
+        assert len(truth.vendor_variants) == len(truth.vendor_map)
+        canonical = {spec.name for spec in truth.universe}
+        assert truth.vendor_map
+        for variant, target in truth.vendor_map.items():
+            assert target in canonical
+            assert variant != target
+
+
 class TestUniverse:
     def test_deterministic(self):
         a = build_universe(300, np.random.default_rng(9))

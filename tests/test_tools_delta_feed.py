@@ -90,6 +90,7 @@ class TestIngestBenchSchema:
     BASE = {
         "kind": "ingest",
         "label": "x",
+        "scenario": "baseline",
         "n_delta": 10,
         "n_new": 5,
         "n_updated": 5,
@@ -122,6 +123,7 @@ class TestIngestBenchSchema:
             "runs": [
                 {
                     "label": "x",
+                    "scenario": "baseline",
                     "requests": 10,
                     "clients": 2,
                     "n_cves": 100,

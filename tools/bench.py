@@ -8,6 +8,12 @@ to ``BENCH_pipeline.json`` so the perf trajectory accumulates across
 changes.  After each run it prints a before/after comparison against
 the most recent earlier run at the same scale.
 
+Every run is made under a named scenario (default ``baseline``, the
+distribution every pre-engine number used); ``--scenario`` picks one
+preset and ``--matrix`` fans each scale out across several presets so
+perf claims cover the scenario matrix instead of one happy path.  The
+scenario is recorded in every run entry.
+
 Usage::
 
     PYTHONPATH=src python tools/bench.py                  # default scale
@@ -15,6 +21,9 @@ Usage::
     PYTHONPATH=src python tools/bench.py --label current --epochs 40
     PYTHONPATH=src python tools/bench.py --scales 0.25 --workers 2 \
         --crawl-cache .crawl_cache.json                   # parallel + warm crawl
+    PYTHONPATH=src python tools/bench.py --scenario chaos-names
+    PYTHONPATH=src python tools/bench.py --scales 0.02 --matrix   # all presets
+    PYTHONPATH=src python tools/bench.py --matrix chaos-names adversarial
     PYTHONPATH=src python tools/bench.py --check-schema BENCH_pipeline.json
 """
 
@@ -29,12 +38,14 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
 
-#: required keys of one run entry and their types.
+#: required keys of one run entry and their types.  ``scenario`` names
+#: the generator scenario the run was measured under (schema /2).
 _RUN_FIELDS = {
     "label": str,
+    "scenario": str,
     "scale": (int, float),
     "n_cves": int,
     "epochs": int,
@@ -83,11 +94,13 @@ def bench_one(
     epochs: int,
     seed: int,
     label: str,
+    scenario_name: str = "baseline",
     workers: int | None = None,
     backend: str | None = None,
     crawl_cache: str | None = None,
 ) -> dict:
-    """Run generate + clean at one scale and return the run record."""
+    """Run generate + clean at one (scale, scenario) and return the run
+    record."""
     from repro import perf
     from repro.core import (
         EngineConfig,
@@ -97,18 +110,21 @@ def bench_one(
     )
     from repro.experiments import PAPER_SCALE_CVES
     from repro.runtime import make_executor
-    from repro.synth import GeneratorConfig, generate
+    from repro.synth import generate, get_scenario
 
-    n_cves = max(2000, int(PAPER_SCALE_CVES * scale))
+    scenario = get_scenario(scenario_name)
+    config = scenario.generator_config(max(2000, int(PAPER_SCALE_CVES * scale)), seed)
+    n_cves = config.n_cves
     executor = make_executor(workers, backend)
     recorder = perf.get_recorder()
     recorder.reset()
     print(
-        f"[bench] scale={scale} n_cves={n_cves} epochs={epochs} "
-        f"workers={executor.workers} backend={executor.backend} ..."
+        f"[bench] scale={scale} scenario={scenario.name} n_cves={n_cves} "
+        f"epochs={epochs} workers={executor.workers} "
+        f"backend={executor.backend} ..."
     )
     t_generate = time.perf_counter()
-    bundle = generate(GeneratorConfig(n_cves=n_cves, seed=seed))
+    bundle = generate(config)
     generate_s = time.perf_counter() - t_generate
 
     t_clean = time.perf_counter()
@@ -128,6 +144,7 @@ def bench_one(
     phases["generate"] = round(generate_s, 3)
     return {
         "label": label,
+        "scenario": scenario.name,
         "scale": scale,
         "n_cves": n_cves,
         "epochs": epochs,
@@ -145,7 +162,8 @@ def compare(before: dict, after: dict) -> str:
     """A before/after table over wall time and shared phases."""
     lines = [
         f"before ({before['label']}) vs after ({after['label']}) "
-        f"at scale {after['scale']}:",
+        f"at scale {after['scale']}, "
+        f"scenario {after.get('scenario', 'baseline')}:",
         f"  {'phase':<24}{'before_s':>10}{'after_s':>10}{'speedup':>9}",
     ]
 
@@ -169,6 +187,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--epochs", type=int, default=40)
     parser.add_argument("--seed", type=int, default=2018)
     parser.add_argument("--label", default="current")
+    parser.add_argument(
+        "--scenario", default="baseline", metavar="NAME",
+        help="generator scenario preset to run under (default: baseline)",
+    )
+    parser.add_argument(
+        "--matrix", nargs="*", default=None, metavar="NAME",
+        help="run each scale under several scenario presets "
+        "(no names = every registered preset); overrides --scenario",
+    )
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="execution-runtime workers (default: REPRO_WORKERS or 1)",
@@ -212,33 +239,50 @@ def main(argv: list[str] | None = None) -> int:
         if scale <= 0:
             parser.error(f"--scales must be positive, got {scale}")
 
+    from repro.synth import ScenarioError, get_scenario, scenario_names
+
+    if args.matrix is not None:
+        scenarios = list(args.matrix) or scenario_names()
+    else:
+        scenarios = [args.scenario]
+    try:
+        for name in scenarios:
+            get_scenario(name)
+    except ScenarioError as error:
+        parser.error(str(error))
+
     document = load(args.output)
     if "runs" not in document or not isinstance(document.get("runs"), list):
         document = {"schema": SCHEMA, "runs": []}
     document["schema"] = SCHEMA
 
     for scale in args.scales:
-        run = bench_one(
-            scale,
-            args.epochs,
-            args.seed,
-            args.label,
-            workers=args.workers,
-            backend=args.backend,
-            crawl_cache=args.crawl_cache,
-        )
-        earlier = [
-            r
-            for r in document["runs"]
-            if r.get("scale") == scale and r.get("epochs") == run["epochs"]
-        ]
-        document["runs"].append(run)
-        print(
-            f"[bench] scale={scale}: clean() {run['wall_s']}s, "
-            f"peak RSS {run['peak_rss_mb']} MiB"
-        )
-        if earlier:
-            print(compare(earlier[-1], run))
+        for scenario_name in scenarios:
+            run = bench_one(
+                scale,
+                args.epochs,
+                args.seed,
+                args.label,
+                scenario_name=scenario_name,
+                workers=args.workers,
+                backend=args.backend,
+                crawl_cache=args.crawl_cache,
+            )
+            earlier = [
+                r
+                for r in document["runs"]
+                if r.get("scale") == scale
+                and r.get("epochs") == run["epochs"]
+                and r.get("scenario", "baseline") == run["scenario"]
+            ]
+            document["runs"].append(run)
+            print(
+                f"[bench] scale={scale} scenario={run['scenario']}: "
+                f"clean() {run['wall_s']}s, "
+                f"peak RSS {run['peak_rss_mb']} MiB"
+            )
+            if earlier:
+                print(compare(earlier[-1], run))
 
     errors = validate(document)
     if errors:  # defensive: never write a file CI would reject

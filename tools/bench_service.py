@@ -7,6 +7,12 @@ throughput plus p50/p95 latency (overall and per endpoint) to
 ``BENCH_service.json`` — the serving counterpart of ``tools/bench.py``
 and ``BENCH_pipeline.json``, with the same schema-check pattern.
 
+The request mix is no longer hard-coded: it comes from the scenario
+engine's :class:`repro.synth.TraceSpec` (``--scenario`` picks the
+preset, default ``baseline`` — the historical 50/15/15/10/5/5 mix) and
+replays bit-identically from ``(trace, snapshot, requests, seed)``.
+The scenario is recorded in every run entry.
+
 ``--ingest DELTA_FEED`` benchmarks the *write* path instead: it times
 ``repro.artifacts.ingest_delta`` rolling the delta (typically from
 ``tools/make_delta_feed.py``) into a new store version and records
@@ -18,6 +24,8 @@ Usage::
     PYTHONPATH=src python tools/bench_service.py --artifacts /tmp/store
     PYTHONPATH=src python tools/bench_service.py --artifacts /tmp/store \
         --requests 2000 --clients 8 --label current
+    PYTHONPATH=src python tools/bench_service.py --artifacts /tmp/store \
+        --scenario chaos-names
     PYTHONPATH=src python tools/make_delta_feed.py --artifacts /tmp/store \
         --out /tmp/delta.json.gz
     PYTHONPATH=src python tools/bench_service.py --artifacts /tmp/store \
@@ -30,23 +38,23 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import random
 import sys
 import threading
 import time
 import urllib.error
-import urllib.parse
 import urllib.request
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA = "repro-bench-service/1"
+SCHEMA = "repro-bench-service/2"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
 
-#: required keys of one serving run entry and their types.
+#: required keys of one serving run entry and their types.  ``scenario``
+#: names the trace scenario the workload replayed (schema /2).
 _RUN_FIELDS = {
     "label": str,
+    "scenario": str,
     "requests": int,
     "clients": int,
     "n_cves": int,
@@ -61,6 +69,7 @@ _RUN_FIELDS = {
 #: required keys of one ``kind: "ingest"`` run entry.
 _INGEST_FIELDS = {
     "label": str,
+    "scenario": str,
     "n_delta": int,
     "n_new": int,
     "n_updated": int,
@@ -69,17 +78,6 @@ _INGEST_FIELDS = {
     "wall_s": (int, float),
     "cves_per_s": (int, float),
 }
-
-#: workload mix: (endpoint label, weight).
-_MIX = [
-    ("cve", 50),
-    ("vendor", 15),
-    ("product", 15),
-    ("predict", 10),
-    ("stats", 5),
-    ("healthz", 5),
-]
-
 
 def validate(data: object) -> list[str]:
     """Schema errors in a BENCH_service.json document (empty = valid)."""
@@ -137,42 +135,6 @@ def percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[rank]
 
 
-def build_workload(artifacts, n_requests: int, seed: int) -> list[tuple[str, str, bytes | None]]:
-    """A deterministic (label, path, POST body) request mix."""
-    from repro.cvss import v2_vector_string
-
-    rng = random.Random(seed)
-    entries = artifacts.snapshot.entries
-    scored = [e for e in entries if e.cvss_v2 is not None]
-    vendors = artifacts.snapshot.vendors()
-    pairs = [pair for e in entries[:2000] for pair in e.vendor_products()]
-    labels = [label for label, weight in _MIX for _ in range(weight)]
-    workload: list[tuple[str, str, bytes | None]] = []
-    for _ in range(n_requests):
-        label = rng.choice(labels)
-        if label == "cve":
-            workload.append((label, f"/v1/cve/{rng.choice(entries).cve_id}", None))
-        elif label == "vendor":
-            name = urllib.parse.quote(rng.choice(vendors))
-            workload.append((label, f"/v1/vendor/{name}", None))
-        elif label == "product":
-            vendor, product = rng.choice(pairs)
-            path = f"/v1/product/{urllib.parse.quote(vendor)}/{urllib.parse.quote(product)}"
-            workload.append((label, path, None))
-        elif label == "predict":
-            entry = rng.choice(scored)
-            body = json.dumps(
-                {
-                    "cvss_v2": v2_vector_string(entry.cvss_v2),
-                    "description": entry.description,
-                }
-            ).encode("utf-8")
-            workload.append((label, "/v1/severity/predict", body))
-        else:
-            workload.append((label, "/healthz" if label == "healthz" else "/v1/stats", None))
-    return workload
-
-
 def fire(base_url: str, item: tuple[str, str, bytes | None]) -> tuple[str, int, float]:
     """One client request; returns (endpoint label, status, seconds)."""
     label, path, body = item
@@ -199,11 +161,16 @@ def bench(
     clients: int,
     seed: int,
     label: str,
+    scenario_name: str = "baseline",
 ) -> dict:
-    """Start the server, run the workload, return the run record."""
+    """Start the server, replay the scenario's request trace, return the
+    run record."""
     from repro.artifacts import read_current
     from repro.runtime import ThreadExecutor
     from repro.service import create_server
+    from repro.synth import build_request_trace, get_scenario
+
+    scenario = get_scenario(scenario_name)
 
     t_cold = time.perf_counter()
     # Pin the live version: a pinned server never polls CURRENT, so the
@@ -216,11 +183,12 @@ def bench(
     # The server already loaded (and hash-verified) the store; reuse
     # its artifacts for the workload ids instead of loading twice.
     artifacts = server.service.state.artifacts
-    workload = build_workload(artifacts, n_requests, seed)
+    workload = build_request_trace(scenario.trace, artifacts.snapshot, n_requests, seed)
     print(
         f"[bench-service] {base_url} version={artifacts.version} "
         f"n_cves={len(artifacts.snapshot)} requests={n_requests} "
-        f"clients={clients} (cold start {cold_start_s:.2f}s)"
+        f"clients={clients} scenario={scenario.name} "
+        f"(cold start {cold_start_s:.2f}s)"
     )
     executor = ThreadExecutor(workers=clients)
     try:
@@ -251,6 +219,7 @@ def bench(
     }
     return {
         "label": label,
+        "scenario": scenario.name,
         "requests": n_requests,
         "clients": clients,
         "n_cves": len(artifacts.snapshot),
@@ -265,7 +234,12 @@ def bench(
     }
 
 
-def bench_ingest(artifacts_dir: pathlib.Path, delta_path: pathlib.Path, label: str) -> dict:
+def bench_ingest(
+    artifacts_dir: pathlib.Path,
+    delta_path: pathlib.Path,
+    label: str,
+    scenario_name: str = "baseline",
+) -> dict:
     """Time one incremental ingest of ``delta_path`` into the store.
 
     The store gains a new version (that is the workload being measured
@@ -273,7 +247,9 @@ def bench_ingest(artifacts_dir: pathlib.Path, delta_path: pathlib.Path, label: s
     """
     from repro.artifacts import ingest_delta
     from repro.nvd import load_feed
+    from repro.synth import get_scenario
 
+    scenario = get_scenario(scenario_name)
     entries = load_feed(delta_path)
     print(
         f"[bench-service] ingesting {len(entries)} delta CVEs "
@@ -285,6 +261,7 @@ def bench_ingest(artifacts_dir: pathlib.Path, delta_path: pathlib.Path, label: s
     return {
         "kind": "ingest",
         "label": label,
+        "scenario": scenario.name,
         "n_delta": result.n_delta,
         "n_new": result.n_new,
         "n_updated": result.n_updated,
@@ -313,6 +290,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--seed", type=int, default=2018)
     parser.add_argument("--label", default="current")
+    parser.add_argument(
+        "--scenario", default="baseline", metavar="NAME",
+        help="scenario preset whose request trace to replay "
+        "(default: baseline)",
+    )
     parser.add_argument(
         "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
         help="trajectory JSON to append to (default: BENCH_service.json)",
@@ -344,13 +326,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.requests < 1 or args.clients < 1:
         parser.error("--requests and --clients must be positive")
 
+    from repro.synth import ScenarioError, get_scenario
+
+    try:
+        get_scenario(args.scenario)
+    except ScenarioError as error:
+        parser.error(str(error))
+
     document = load(args.output)
     if "runs" not in document or not isinstance(document.get("runs"), list):
         document = {"schema": SCHEMA, "runs": []}
     document["schema"] = SCHEMA
 
     if args.ingest is not None:
-        run = bench_ingest(args.artifacts, args.ingest, args.label)
+        run = bench_ingest(args.artifacts, args.ingest, args.label, scenario_name=args.scenario)
         document["runs"].append(run)
         print(
             f"[bench-service] ingest: {run['n_delta']} delta CVEs in "
@@ -358,7 +347,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{run['version']} ({run['n_cves']} total)"
         )
     else:
-        run = bench(args.artifacts, args.requests, args.clients, args.seed, args.label)
+        run = bench(
+            args.artifacts,
+            args.requests,
+            args.clients,
+            args.seed,
+            args.label,
+            scenario_name=args.scenario,
+        )
         document["runs"].append(run)
         print(
             f"[bench-service] {run['rps']} req/s, p50 {run['p50_ms']}ms, "

@@ -23,6 +23,7 @@ Usage::
 
     PYTHONPATH=src python tools/chaos.py --scale 0.02 --seed 7
     PYTHONPATH=src python tools/chaos.py --plan "web.fetch:error=0.3" --keep
+    PYTHONPATH=src python tools/chaos.py --scenario chaos-names
 
 Everything is seeded; the same arguments produce the same faults at
 the same points, which is what makes the bit-identical assertion a
@@ -94,6 +95,7 @@ def run_flow(
     seed: int,
     n_cves: int,
     epochs: int,
+    scenario_name: str = "baseline",
 ) -> dict:
     """crawl→clean→export→pool→ingest→serve under ``plan_text``.
 
@@ -112,8 +114,9 @@ def run_flow(
     from repro.nvd import load_feed
     from repro.runtime import make_executor
     from repro.service import create_server
-    from repro.synth import GeneratorConfig, generate
+    from repro.synth import generate, get_scenario
 
+    scenario = get_scenario(scenario_name)
     label = "faulted" if plan_text else "baseline"
     if plan_text:
         faults.install(faults.FaultPlan.parse(plan_text, seed=seed))
@@ -126,8 +129,9 @@ def run_flow(
 
     try:
         # -- generate + crawl + clean + export ---------------------------
-        bundle = generate(GeneratorConfig(n_cves=n_cves, seed=seed))
-        log(f"{label}: cleaning {n_cves} CVEs")
+        config = scenario.generator_config(n_cves, seed)
+        bundle = generate(config)
+        log(f"{label}: cleaning {config.n_cves} CVEs (scenario {scenario.name})")
         rectified = clean(
             bundle.snapshot,
             bundle.web,
@@ -335,6 +339,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--scenario", default="baseline", metavar="NAME",
+        help="generator scenario preset for both flows (default: baseline)",
+    )
+    parser.add_argument(
         "--plan", default=DEFAULT_PLAN,
         help=f"fault plan for the faulted run (default: {DEFAULT_PLAN!r})",
     )
@@ -348,6 +356,13 @@ def main(argv: list[str] | None = None) -> int:
         help="keep the working directory for inspection",
     )
     args = parser.parse_args(argv)
+
+    from repro.synth import ScenarioError, get_scenario
+
+    try:
+        get_scenario(args.scenario)
+    except ScenarioError as error:
+        parser.error(str(error))
     n_cves = max(300, int(FULL_SCALE_CVES * args.scale))
 
     workdir = args.workdir or pathlib.Path(tempfile.mkdtemp(prefix="repro-chaos-"))
@@ -357,10 +372,12 @@ def main(argv: list[str] | None = None) -> int:
         baseline = run_flow(
             workdir / "baseline",
             plan_text=None, seed=args.seed, n_cves=n_cves, epochs=args.epochs,
+            scenario_name=args.scenario,
         )
         faulted = run_flow(
             workdir / "faulted",
             plan_text=args.plan, seed=args.seed, n_cves=n_cves, epochs=args.epochs,
+            scenario_name=args.scenario,
         )
         fired = faulted.get("fired", {})
         log(f"faults fired: {fired}")

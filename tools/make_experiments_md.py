@@ -74,6 +74,15 @@ population.
 One deliberate deviation: the paper's Table 8 lists 07/09/18 (a date
 past its own 2018-05-21 snapshot); our generator keeps all 2018 event
 days inside the snapshot window.
+
+Every table below is measured under the **`baseline` scenario** of the
+parametric scenario engine (`repro.synth.scenario`) — the paper's
+measured distribution, bit-identical to the pre-engine generation
+path.  The other presets (`chaos-names`, `drift`, `burst`,
+`adversarial`, `xl`) stress-test the pipeline in
+`tests/test_scenarios.py` and the bench matrix
+(`tools/bench.py --matrix`); they do not feed the paper-shape
+assertions here.
 """
 
 
