@@ -10,7 +10,13 @@ package implements the full stack from scratch:
 - :mod:`repro.ml.nn` — layers (Dense, Conv1D, Flatten, activations),
   MSE loss, Adam optimizer, and a mini-batch training loop; training
   and prediction can shard batches across a
-  :class:`repro.runtime.Executor` with bit-identical results;
+  :class:`repro.runtime.Executor` with bit-identical results,
+  including a data-parallel ``fit`` that tree-reduces per-shard
+  gradients;
+- :mod:`repro.ml.backend` — the pluggable numeric backend every
+  training GEMM routes through (``numpy-ref`` reference vs the
+  threaded-BLAS ``blas`` path, selected via
+  ``REPRO_NUMERIC_BACKEND``);
 - :mod:`repro.ml.linear` — closed-form ridge/linear regression;
 - :mod:`repro.ml.svr` — RBF-kernel epsilon-SVR trained by
   Pegasos-style stochastic subgradient descent;
@@ -22,6 +28,16 @@ package implements the full stack from scratch:
   accuracy, confusion matrices and stratified splitting.
 """
 
+from repro.ml.backend import (
+    NUMERIC_BACKENDS,
+    NumericBackend,
+    active_backend,
+    get_backend,
+    resolve_blas_threads,
+    resolve_data_parallel,
+    resolve_numeric_backend,
+    use_backend,
+)
 from repro.ml.encode import HashingSentenceEncoder
 from repro.ml.knn import KNeighborsClassifier
 from repro.ml.linear import LinearRegression
@@ -34,6 +50,7 @@ from repro.ml.metrics import (
     stratified_split,
 )
 from repro.ml.nn import (
+    DP_SHARD_ROWS,
     Adam,
     Conv1D,
     Dense,
@@ -50,22 +67,31 @@ from repro.ml.svr import SupportVectorRegressor
 __all__ = [
     "Adam",
     "Conv1D",
+    "DP_SHARD_ROWS",
     "Dense",
     "Flatten",
     "HashingSentenceEncoder",
     "KNeighborsClassifier",
     "LinearRegression",
     "MSELoss",
+    "NUMERIC_BACKENDS",
+    "NumericBackend",
     "PCA",
     "ReLU",
     "Sequential",
     "Sigmoid",
     "SupportVectorRegressor",
     "accuracy",
+    "active_backend",
     "average_error",
     "average_error_rate",
     "confusion_matrix",
     "fit",
+    "get_backend",
     "per_class_accuracy",
+    "resolve_blas_threads",
+    "resolve_data_parallel",
+    "resolve_numeric_backend",
     "stratified_split",
+    "use_backend",
 ]

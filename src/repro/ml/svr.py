@@ -8,19 +8,28 @@ approximate solution without a QP solver.  Training cost is bounded by
 subsampling at most ``max_support`` candidate support vectors.
 
 Kernel evaluations are fully vectorised: the Gram matrix comes from
-one GEMM plus broadcast squared norms, prediction streams the kernel
-in bounded-size chunks (memory stays O(chunk × n_support) however many
-rows are scored), and the training loop keeps its per-sample scalar
-updates in plain Python floats — same IEEE-754 arithmetic, none of the
-numpy scalar boxing overhead.
+one GEMM plus broadcast squared norms — routed through the pluggable
+numeric backend (:mod:`repro.ml.backend`), so a threaded BLAS speeds
+up the kernel too — prediction streams the kernel in bounded-size
+chunks (memory stays O(chunk × n_support) however many rows are
+scored, and the fixed-size chunks optionally shard across an
+:class:`repro.runtime.Executor` in input order), and the training loop
+keeps its per-sample scalar updates in plain Python floats — same
+IEEE-754 arithmetic, none of the numpy scalar boxing overhead.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.ml.backend import active_backend
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime import Executor
 
 __all__ = ["SupportVectorRegressor"]
 
@@ -64,7 +73,8 @@ class SupportVectorRegressor:
         sq_a = np.sum(a**2, axis=1)[:, None]
         if sq_b is None:
             sq_b = np.sum(b**2, axis=1)
-        distances = np.maximum(sq_a + sq_b[None, :] - 2.0 * (a @ b.T), 0.0)
+        gram = active_backend().matmul(a, b.T)
+        distances = np.maximum(sq_a + sq_b[None, :] - 2.0 * gram, 0.0)
         return np.exp(-self.gamma * distances)
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "SupportVectorRegressor":
@@ -162,16 +172,36 @@ class SupportVectorRegressor:
         )
         return model
 
-    def predict(self, x: np.ndarray, chunk_size: int = 4096) -> np.ndarray:
+    def _predict_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        kernel = self._kernel(chunk, self.support_vectors, self._support_sq)
+        return kernel @ self.alphas
+
+    def predict(
+        self,
+        x: np.ndarray,
+        chunk_size: int = 4096,
+        executor: "Executor | None" = None,
+    ) -> np.ndarray:
+        """Predicted targets for ``x``.
+
+        Rows stream in fixed ``chunk_size`` chunks; with an
+        ``executor`` the chunks map across its workers and concatenate
+        in input order — boundaries depend only on ``chunk_size``, so
+        results are bit-identical at any worker count.
+        """
         if self.support_vectors is None or self.alphas is None:
             raise RuntimeError("model is not fitted")
         x = np.asarray(x, dtype=float)
         if self.support_vectors.shape[0] == 0:
             return np.full(x.shape[0], self.intercept)
-        out = np.empty(x.shape[0])
-        for start in range(0, x.shape[0], chunk_size):
-            chunk = x[start : start + chunk_size]
-            kernel = self._kernel(chunk, self.support_vectors, self._support_sq)
-            out[start : start + chunk.shape[0]] = kernel @ self.alphas
+        chunks = [
+            x[start : start + chunk_size]
+            for start in range(0, x.shape[0], chunk_size)
+        ]
+        if executor is not None and executor.workers > 1 and len(chunks) > 1:
+            results = executor.map(self._predict_chunk, chunks)
+        else:
+            results = [self._predict_chunk(chunk) for chunk in chunks]
+        out = np.concatenate(results) if results else np.empty(0)
         out += self.intercept
         return out

@@ -26,12 +26,16 @@ Resolution is backend-aware:
   ``(context_id, name)`` pair resolved against the worker's installed
   copy.
 
-Publishing or retiring bumps the context *generation*; a process pool
-spawned under an older generation is respawned before its next parallel
-map (see :class:`repro.runtime.executor.ProcessExecutor`), so workers
-always hold exactly the live published set.  Phases therefore publish
-what they need, map, and retire it, keeping later respawns from
-re-shipping state that is no longer referenced.
+Publishing or retiring bumps the context *generation*; publishing also
+bumps the *publish generation*.  A process pool spawned under an older
+publish generation is respawned before its next parallel map (see
+:class:`repro.runtime.executor.ProcessExecutor`), so workers always
+hold every live published object.  A retire alone does **not** respawn
+the pool — workers keeping a no-longer-referenced copy is harmless,
+and repeated publish→map→retire cycles (one ``fit`` per model) would
+otherwise pay one redundant spawn each.  Phases therefore publish what
+they need, map, and retire it; the retire keeps the *next* genuine
+respawn from re-shipping state that is no longer referenced.
 
 Contexts register in a weak registry keyed by ``context_id``: handles
 stay valid for as long as someone (normally the owning executor) keeps
@@ -121,9 +125,15 @@ class WorkerContext:
     def __init__(self) -> None:
         self.context_id = _next_context_id()
         self._objects: dict[str, Any] = {}
-        #: bumped on every publish/retire; process pools spawned under
-        #: an older generation respawn before their next parallel map.
+        #: bumped on every publish/retire — the "did anything change"
+        #: signal for diagnostics and cache invalidation.
         self.generation = 0
+        #: bumped on publish only.  A retire never *adds* state a
+        #: worker is missing (workers holding a retired object is
+        #: harmless — tasks must not reference retired handles), so a
+        #: process pool only needs respawning when this moves; see
+        #: :class:`repro.runtime.executor.ProcessExecutor`.
+        self.publish_generation = 0
         _PARENT_CONTEXTS[self.context_id] = self
 
     def __len__(self) -> int:
@@ -143,6 +153,7 @@ class WorkerContext:
         """
         self._objects[name] = obj
         self.generation += 1
+        self.publish_generation += 1
         return SharedHandle(self.context_id, name)
 
     def retire(self, name: str) -> None:

@@ -301,12 +301,16 @@ class ProcessExecutor(_PooledExecutor):
     each worker process exactly once, at spawn, and per-task payloads
     carry only handles and shards.
 
-    When the published set changes after the pool spawned (a later
+    When something is *published* after the pool spawned (a later
     phase publishing its state), the pool respawns before the next
-    parallel map so workers always hold the live set; each worker
-    process still receives each object once.  Worker processes spawn
-    lazily on the first parallel map and are reused until
-    :meth:`close`.
+    parallel map so workers always hold every live object; each worker
+    process still receives each object once.  A *retire* alone keeps
+    the pool — workers then hold a superset of the live set, which no
+    task may reference anyway — counted by
+    ``runtime.pool_respawns_avoided``, so repeated publish→map→retire
+    cycles (one ``fit`` per model) pay one spawn, not one per cycle.
+    Worker processes spawn lazily on the first parallel map and are
+    reused until :meth:`close`.
 
     A worker dying mid-map (OOM kill, segfault, or the injected
     ``worker:kill`` fault) breaks the whole pool —
@@ -328,6 +332,7 @@ class ProcessExecutor(_PooledExecutor):
     def __init__(self, workers: int = 2, context: WorkerContext | None = None) -> None:
         super().__init__(workers, context)
         self._pool_generation = -1
+        self._pool_publish_generation = -1
 
     def _make_pool(self) -> concurrent.futures.Executor:
         context = self.context
@@ -347,6 +352,7 @@ class ProcessExecutor(_PooledExecutor):
             perf.get_recorder().set_counter("runtime.publishes_per_worker", 1)
         perf.add_counter("runtime.worker_spawns", self.workers)
         self._pool_generation = context.generation
+        self._pool_publish_generation = context.publish_generation
         return concurrent.futures.ProcessPoolExecutor(
             max_workers=self.workers, initializer=initializer, initargs=initargs
         )
@@ -401,7 +407,15 @@ class ProcessExecutor(_PooledExecutor):
 
     def _before_map(self, fn: Callable[[T], R], items: Sequence[T]) -> None:
         if self._pool is not None and self._pool_generation != self.context.generation:
-            self.close()  # stale published set: respawn ships the live one
+            if self._pool_publish_generation != self.context.publish_generation:
+                self.close()  # missing published state: respawn ships it
+            else:
+                # Only retires since this pool spawned — workers hold a
+                # superset of the live set, which no task may reference
+                # anyway.  Keeping the pool saves a full worker respawn
+                # per publish→map→retire cycle (one fit per model).
+                perf.add_counter("runtime.pool_respawns_avoided", 1)
+                self._pool_generation = self.context.generation
         # Measuring doubles the item pickling and adds one fn pickle per
         # map — bounded by 1/len(items) of the pool's own fn shipping,
         # and cheap in absolute terms now that tasks carry handles plus

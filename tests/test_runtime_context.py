@@ -57,6 +57,18 @@ class TestWorkerContext:
         context.retire("a")  # retiring an absent name is a no-op
         assert context.generation == generation + 1
 
+    def test_publish_generation_tracks_publishes_only(self):
+        context = WorkerContext()
+        assert context.publish_generation == 0
+        context.publish("a", 1)
+        context.publish("b", 2)
+        assert context.publish_generation == 2
+        context.retire("a")
+        assert context.publish_generation == 2  # retire: generation only
+        assert context.generation == 3
+        context.publish("c", 3)
+        assert context.publish_generation == 3
+
     def test_handle_for_unknown_name(self):
         context = WorkerContext()
         with pytest.raises(LookupError):
@@ -185,6 +197,35 @@ class TestProcessShipping:
             second = executor.map(_add_base, [(handle, shard) for shard in ([1, 2], [3], [4])])
         assert first == [[11, 12], [13], [14]]
         assert second == [[21, 22], [23], [24]]
+
+    def test_retire_only_changes_avoid_pool_respawn(self):
+        """A retire between maps must not pay a worker respawn — the
+        satellite fix: publish-generation and task-generation are
+        tracked separately, with a counter pinning the saved spawns."""
+        recorder = perf.get_recorder()
+
+        def counter(name):
+            return recorder.counters.get(name, 0)
+
+        with ProcessExecutor(2) as executor:
+            handle_a = executor.publish("a", {"base": 1})
+            executor.publish("b", {"base": 2})
+            executor.map(_add_base, [(handle_a, [1]), (handle_a, [2])])
+            spawns = counter("runtime.worker_spawns")
+            avoided = counter("runtime.pool_respawns_avoided")
+            executor.context.retire("b")
+            # Retire-only drift: the pool is kept, the counter bumps.
+            assert executor.map(
+                _add_base, [(handle_a, [3]), (handle_a, [4])]
+            ) == [[4], [5]]
+            assert counter("runtime.worker_spawns") == spawns
+            assert counter("runtime.pool_respawns_avoided") == avoided + 1
+            # A genuine publish still respawns (workers need the state).
+            handle_c = executor.publish("c", {"base": 10})
+            assert executor.map(
+                _add_base, [(handle_c, [1]), (handle_c, [2])]
+            ) == [[11], [12]]
+            assert counter("runtime.worker_spawns") == spawns + 2
 
     def test_unpicklable_published_object_fails_loudly(self):
         with ProcessExecutor(2) as executor:

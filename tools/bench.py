@@ -24,7 +24,15 @@ Usage::
     PYTHONPATH=src python tools/bench.py --scenario chaos-names
     PYTHONPATH=src python tools/bench.py --scales 0.02 --matrix   # all presets
     PYTHONPATH=src python tools/bench.py --matrix chaos-names adversarial
+    PYTHONPATH=src python tools/bench.py --scales 0.075 --backend process \
+        --workers-sweep 1,2,4 --dp-fit              # multi-core scaling curve
     PYTHONPATH=src python tools/bench.py --check-schema BENCH_pipeline.json
+
+``--workers-sweep 1,2,4`` appends one labelled run per worker count
+(label ``<label>-w<N>``), so a single invocation records the workers ×
+numeric-backend scaling curve; combine with ``--dp-fit`` (data-parallel
+gradient sharding) and ``--numeric-backend blas`` for the multi-core
+configuration.
 """
 
 from __future__ import annotations
@@ -98,6 +106,8 @@ def bench_one(
     workers: int | None = None,
     backend: str | None = None,
     crawl_cache: str | None = None,
+    numeric_backend: str | None = None,
+    data_parallel: bool | None = None,
 ) -> dict:
     """Run generate + clean at one (scale, scenario) and return the run
     record."""
@@ -112,16 +122,26 @@ def bench_one(
     from repro.runtime import make_executor
     from repro.synth import generate, get_scenario
 
+    from repro.ml.backend import resolve_data_parallel, resolve_numeric_backend
+
     scenario = get_scenario(scenario_name)
     config = scenario.generator_config(max(2000, int(PAPER_SCALE_CVES * scale)), seed)
     n_cves = config.n_cves
     executor = make_executor(workers, backend)
+    engine_config = EngineConfig(
+        epochs=epochs,
+        numeric_backend=numeric_backend,
+        data_parallel=data_parallel,
+    )
+    resolved_numeric = resolve_numeric_backend(numeric_backend)
+    resolved_dp = resolve_data_parallel(data_parallel)
     recorder = perf.get_recorder()
     recorder.reset()
     print(
         f"[bench] scale={scale} scenario={scenario.name} n_cves={n_cves} "
         f"epochs={epochs} workers={executor.workers} "
-        f"backend={executor.backend} ..."
+        f"backend={executor.backend} numeric={resolved_numeric} "
+        f"dp_fit={'on' if resolved_dp else 'off'} ..."
     )
     t_generate = time.perf_counter()
     bundle = generate(config)
@@ -133,7 +153,7 @@ def bench_one(
         bundle.web,
         from_ground_truth(bundle.truth.vendor_map),
         product_oracle_from_truth(bundle.truth.product_map),
-        engine_config=EngineConfig(epochs=epochs),
+        engine_config=engine_config,
         executor=executor,
         crawl_cache=crawl_cache,
     )
@@ -150,6 +170,8 @@ def bench_one(
         "epochs": epochs,
         "workers": executor.workers,
         "backend": executor.backend,
+        "numeric_backend": resolved_numeric,
+        "data_parallel": resolved_dp,
         "wall_s": round(wall_s, 3),
         "peak_rss_mb": perf.peak_rss_mb(),
         "phases": phases,
@@ -201,8 +223,24 @@ def main(argv: list[str] | None = None) -> int:
         help="execution-runtime workers (default: REPRO_WORKERS or 1)",
     )
     parser.add_argument(
+        "--workers-sweep", default=None, metavar="N,N,...",
+        help="comma-separated worker counts (e.g. 1,2,4): append one run "
+        "per count, labelled <label>-w<N> — the scaling curve in one "
+        "invocation; overrides --workers",
+    )
+    parser.add_argument(
         "--backend", choices=("serial", "thread", "process"), default=None,
         help="executor backend (default: REPRO_BACKEND, or thread when N > 1)",
+    )
+    parser.add_argument(
+        "--numeric-backend", choices=("numpy-ref", "blas"), default=None,
+        help="numeric backend for the training GEMMs (default: "
+        "REPRO_NUMERIC_BACKEND or numpy-ref)",
+    )
+    parser.add_argument(
+        "--dp-fit", action="store_true",
+        help="data-parallel fit: shard minibatch gradients across the "
+        "executor (default: REPRO_DP_FIT or off)",
     )
     parser.add_argument(
         "--crawl-cache", default=None, metavar="PATH",
@@ -251,6 +289,23 @@ def main(argv: list[str] | None = None) -> int:
     except ScenarioError as error:
         parser.error(str(error))
 
+    if args.workers_sweep is not None:
+        try:
+            sweep = [int(part) for part in args.workers_sweep.split(",") if part]
+        except ValueError:
+            parser.error(
+                f"--workers-sweep must be comma-separated integers, "
+                f"got {args.workers_sweep!r}"
+            )
+        if not sweep or any(n < 1 for n in sweep):
+            parser.error(
+                f"--workers-sweep counts must be >= 1, got {args.workers_sweep!r}"
+            )
+        #: (workers, label suffix) per run — one labelled point per count.
+        worker_runs = [(n, f"-w{n}") for n in sweep]
+    else:
+        worker_runs = [(args.workers, "")]
+
     document = load(args.output)
     if "runs" not in document or not isinstance(document.get("runs"), list):
         document = {"schema": SCHEMA, "runs": []}
@@ -258,31 +313,35 @@ def main(argv: list[str] | None = None) -> int:
 
     for scale in args.scales:
         for scenario_name in scenarios:
-            run = bench_one(
-                scale,
-                args.epochs,
-                args.seed,
-                args.label,
-                scenario_name=scenario_name,
-                workers=args.workers,
-                backend=args.backend,
-                crawl_cache=args.crawl_cache,
-            )
-            earlier = [
-                r
-                for r in document["runs"]
-                if r.get("scale") == scale
-                and r.get("epochs") == run["epochs"]
-                and r.get("scenario", "baseline") == run["scenario"]
-            ]
-            document["runs"].append(run)
-            print(
-                f"[bench] scale={scale} scenario={run['scenario']}: "
-                f"clean() {run['wall_s']}s, "
-                f"peak RSS {run['peak_rss_mb']} MiB"
-            )
-            if earlier:
-                print(compare(earlier[-1], run))
+            for workers, suffix in worker_runs:
+                run = bench_one(
+                    scale,
+                    args.epochs,
+                    args.seed,
+                    args.label + suffix,
+                    scenario_name=scenario_name,
+                    workers=workers,
+                    backend=args.backend,
+                    crawl_cache=args.crawl_cache,
+                    numeric_backend=args.numeric_backend,
+                    data_parallel=True if args.dp_fit else None,
+                )
+                earlier = [
+                    r
+                    for r in document["runs"]
+                    if r.get("scale") == scale
+                    and r.get("epochs") == run["epochs"]
+                    and r.get("scenario", "baseline") == run["scenario"]
+                ]
+                document["runs"].append(run)
+                print(
+                    f"[bench] scale={scale} scenario={run['scenario']} "
+                    f"workers={run['workers']}: "
+                    f"clean() {run['wall_s']}s, "
+                    f"peak RSS {run['peak_rss_mb']} MiB"
+                )
+                if earlier:
+                    print(compare(earlier[-1], run))
 
     errors = validate(document)
     if errors:  # defensive: never write a file CI would reject
