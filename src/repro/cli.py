@@ -216,6 +216,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         version=args.version,
         reload_interval=args.reload_interval,
         workers=args.workers,
+        access_log=args.access_log,
     )
 
 
@@ -278,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults-seed", type=int, default=0, metavar="N",
         help="seed for probabilistic fault clauses (default: 0, or "
         "REPRO_FAULTS_SEED when the plan comes from the environment)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace-event file (loadable in Perfetto) "
+        "covering the command's pipeline phases and worker task spans; "
+        "same effect as the REPRO_TRACE environment variable",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -393,6 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: REPRO_WORKERS or 1; each worker cold-starts from "
         "the store and hot-swaps independently)",
     )
+    cmd.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one JSONL line per request (ts, method, path, "
+        "status, latency ms, cache hit, trace id); with --workers N "
+        "every worker appends to the same file",
+    )
     cmd.set_defaults(func=_cmd_serve)
 
     cmd = commands.add_parser(
@@ -437,6 +450,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             faults.FaultPlan.parse(args.faults, seed=args.faults_seed),
             export_env=True,  # worker processes inherit the plan
         )
+    if args.trace:
+        import os
+
+        # clean() (and serve) pick the target up via maybe_trace() /
+        # trace_target(); the env var also reaches spawned workers.
+        os.environ["REPRO_TRACE"] = args.trace
     return args.func(args)
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import dataclasses
 import datetime
-from collections import Counter
 from collections.abc import Sequence
 
 import numpy as np
@@ -80,26 +79,31 @@ _DATES_CHUNK = 512
 
 def _estimate_shard(
     task: tuple[SharedHandle, Sequence[CveEntry]],
-) -> tuple[list[DisclosureEstimate], Counter, dict]:
+) -> tuple[list[DisclosureEstimate], dict]:
     """Worker body: estimate one shard of entries.
 
     ``task`` is ``(handle, entries)``: the handle resolves the web
     client and crawl cache published once per worker on the shared
-    state plane, the entry shard is the task payload.  Returns the
-    estimates plus the crawl counters and any new cache entries, so
-    the parent can merge bookkeeping from process workers that operate
-    on their installed cache copies.
+    state plane, the entry shard is the task payload.  Crawl counters
+    record straight onto the local perf recorder under ``dates.*`` —
+    in-process for the serial/thread backends, shipped home through
+    the executor's :class:`~repro.perf.RecorderDelta` plane for
+    process workers.  Returns the estimates plus any new cache
+    entries, so the parent can merge additions from process workers
+    that operate on their installed cache copies.
     """
     handle, entries = task
     shared = handle.resolve()
     cache: CrawlCache | None = shared["cache"]
     crawler = ReferenceCrawler(shared["client"], cache=cache)
     estimates = [estimate_disclosure(entry, crawler) for entry in entries]
+    for name, value in sorted(crawler.counters.items()):
+        perf.add_counter(f"dates.{name}", value)
     # take_new(), not new_entries(): the worker's cache copy outlives
     # this shard, and draining keeps each result shipping only its own
     # additions instead of the worker's cumulative set.
     new_entries = cache.take_new() if cache is not None else {}
-    return estimates, crawler.counters, new_entries
+    return estimates, new_entries
 
 
 def estimate_all(
@@ -115,11 +119,14 @@ def estimate_all(
     the client and cache are *published* on the executor's worker
     context — shipped once per process worker instead of riding in
     every shard task.  ``cache`` lets repeated runs replay per-URL
-    scrape outcomes instead of re-fetching.  The merged crawl counters
-    land in the perf recorder under ``dates.*``; note the
-    ``cache_hit``/``cache_miss`` split is diagnostic only — it shifts
-    with the backend (process workers scrape against their own cache
-    copies), while the estimates themselves never do.
+    scrape outcomes instead of re-fetching.  Crawl counters land in
+    the perf recorder under ``dates.*`` — recorded by the shard
+    workers themselves and, under the process backend, shipped home on
+    the executor's delta plane, so totals match the serial run
+    exactly.  The one exception is the ``cache_hit``/``cache_miss``
+    split, which is diagnostic only — it shifts with the backend
+    (process workers scrape against their own cache copies, threads
+    race on a shared one), while the estimates themselves never do.
     """
     shards = map_published(
         executor,
@@ -129,14 +136,10 @@ def estimate_all(
         snapshot.entries,
         _DATES_CHUNK,
     )
-    estimates = [estimate for shard, _, _ in shards for estimate in shard]
-    counters: Counter = Counter()
-    for _, shard_counters, new_entries in shards:
-        counters.update(shard_counters)
-        if cache is not None:
+    estimates = [estimate for shard, _ in shards for estimate in shard]
+    if cache is not None:
+        for _, new_entries in shards:
             cache.merge(new_entries)
-    for name, value in sorted(counters.items()):
-        perf.add_counter(f"dates.{name}", value)
     if cache is not None:
         try:
             cache.save()

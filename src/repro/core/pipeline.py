@@ -13,12 +13,14 @@ reads the recorder to emit the per-phase trajectory in
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
 import pickle
 from collections.abc import Callable
 
 from repro import perf
+from repro.obs.trace import maybe_trace
 from repro.cvss import Severity, severity_v3
 from repro.core.cwefix import CweFixResult, apply_cwe_fixes, extract_cwe_fixes
 from repro.core.dates import DisclosureEstimate, estimate_all
@@ -167,6 +169,12 @@ def clean(
             if not entry.has_v3:
                 n_v3_predicted += 1
 
+    # With REPRO_TRACE (or --trace) set, the whole run records spans —
+    # parent phases plus worker-side task spans shipped home by the
+    # executor — and writes a Perfetto-loadable trace on exit.  A no-op
+    # when tracing is off or an outer session (bench) already traces.
+    trace = contextlib.ExitStack()
+    trace.enter_context(maybe_trace())
     try:
         # §4.1 — disclosure dates.
         with recorder.phase("dates"):
@@ -216,6 +224,7 @@ def clean(
             cwe_fixes = extract_cwe_fixes(after_names)
             rectified = apply_cwe_fixes(after_names, cwe_fixes)
     finally:
+        trace.close()
         if owns_executor:
             executor.close()
 

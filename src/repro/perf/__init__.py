@@ -8,19 +8,32 @@ cleaning run to emit the per-phase wall-time JSON trajectory in
 floor of the phases it wraps.
 
 Counters sit alongside the timers: ``clean()`` records population
-sizes and the runtime worker count, and the §4.1 crawl merges its
+sizes and the runtime worker count, and the §4.1 crawl records its
 per-outcome counters (including crawl-cache hits/misses) under
 ``dates.*`` — so one bench record explains both *how long* a phase
 took and *how much work* it did.  Phase timings are wall-clock and
 recorded by the parent, so they remain correct when a phase's work is
-sharded across :mod:`repro.runtime` workers.
+sharded across :mod:`repro.runtime` workers; counters recorded *inside*
+process workers ship back as :class:`RecorderDelta` payloads alongside
+task results and merge into the parent recorder in fixed task order.
+
+When a trace is active (``REPRO_TRACE`` / ``--trace``), every phase is
+also a :class:`Span` with trace/span ids; :mod:`repro.obs` renders the
+counters as Prometheus metrics and the spans as a Chrome trace-event
+file loadable in Perfetto.
 """
 
 from repro.perf.recorder import (
     PerfRecorder,
     PhaseStats,
+    RecorderDelta,
+    RecorderMark,
+    Span,
+    WORKER_PHASE_PREFIX,
     add_counter,
     get_recorder,
+    new_span_id,
+    new_trace_id,
     peak_rss_mb,
     phase,
     reset,
@@ -30,8 +43,14 @@ from repro.perf.recorder import (
 __all__ = [
     "PerfRecorder",
     "PhaseStats",
+    "RecorderDelta",
+    "RecorderMark",
+    "Span",
+    "WORKER_PHASE_PREFIX",
     "add_counter",
     "get_recorder",
+    "new_span_id",
+    "new_trace_id",
     "peak_rss_mb",
     "phase",
     "reset",

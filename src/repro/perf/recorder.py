@@ -1,10 +1,24 @@
-"""Phase timers and counters for the cleaning pipeline.
+"""Phase timers, counters, and spans for the cleaning pipeline.
 
 A :class:`PerfRecorder` accumulates named phase timings (wall seconds,
 via :func:`time.perf_counter`) and integer counters.  Phases nest: a
 phase entered while another is open records under a dotted path
 (``severity.fit``), so a report reads like a call tree without any
 tracing machinery.
+
+When a trace is active (:meth:`PerfRecorder.start_trace`), every phase
+additionally records a :class:`Span` — name, trace/span/parent ids,
+start and duration in microseconds, and the recording pid/tid — which
+:mod:`repro.obs.trace` exports as Chrome trace-event JSON.  Tracing is
+opt-in; with no trace active a phase stays a ``perf_counter`` pair and
+a dict update.
+
+Process workers keep their own default recorder.  The executor ships a
+:class:`RecorderDelta` — counters, phase seconds, and spans recorded
+while running one task — back alongside each task result, and the
+parent merges deltas in fixed task order (:meth:`PerfRecorder.mark` /
+:meth:`PerfRecorder.delta_since` / :meth:`PerfRecorder.merge_delta`),
+so worker-side counters survive ``REPRO_BACKEND=process``.
 
 The module keeps one process-wide default recorder; library code uses
 the module-level :func:`phase` / :func:`add_counter` helpers so callers
@@ -15,20 +29,64 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import os
+import secrets
 import sys
+import threading
 import time
 from collections.abc import Iterator
 
 __all__ = [
     "PerfRecorder",
     "PhaseStats",
+    "RecorderDelta",
+    "RecorderMark",
+    "Span",
+    "WORKER_PHASE_PREFIX",
     "add_counter",
     "get_recorder",
+    "new_span_id",
+    "new_trace_id",
     "peak_rss_mb",
     "phase",
     "reset",
     "set_counter",
 ]
+
+#: Worker-side phase seconds merge under this prefix in the parent so
+#: they never double-count against the parent's own wall-clock timers
+#: (the parent already times the enclosing phase).
+WORKER_PHASE_PREFIX = "workers"
+
+
+def new_trace_id() -> str:
+    """A 16-hex-digit trace id."""
+    return secrets.token_hex(8)
+
+
+def new_span_id() -> str:
+    """An 8-hex-digit span id."""
+    return secrets.token_hex(4)
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One completed phase occurrence inside a trace.
+
+    Timestamps are microseconds on the ``time.perf_counter`` clock,
+    which on Linux is system-wide monotonic — spans from parent and
+    worker processes share a timeline.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start_us: int
+    dur_us: int
+    pid: int
+    tid: int
+    category: str = "phase"
 
 
 @dataclasses.dataclass
@@ -43,13 +101,63 @@ class PhaseStats:
         self.calls += 1
 
 
+@dataclasses.dataclass(frozen=True)
+class RecorderMark:
+    """Snapshot of a recorder, taken before running a task."""
+
+    counters: dict[str, int]
+    phases: dict[str, tuple[float, int]]
+    span_index: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RecorderDelta:
+    """What one task recorded: shipped from worker to parent.
+
+    Picklable by construction (plain dicts, list of :class:`Span`).
+    """
+
+    counters: dict[str, int]
+    phases: dict[str, tuple[float, int]]
+    spans: tuple[Span, ...] = ()
+
+
 class PerfRecorder:
-    """Accumulates phase timings and counters for one run."""
+    """Accumulates phase timings, counters, and (optionally) spans."""
 
     def __init__(self) -> None:
         self._phases: dict[str, PhaseStats] = {}
         self._counters: dict[str, int] = {}
         self._stack: list[str] = []
+        # Counter/phase updates may arrive from thread-backend workers;
+        # the phase *stack* stays main-thread-only (documented limit).
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self.trace_id: str | None = None
+        self._trace_parent: str | None = None
+        self._span_stack: list[str] = []
+        self._spans: list[Span] = []
+
+    def reset_after_fork(self) -> None:
+        """Scrub state inherited across ``fork`` into a pool worker.
+
+        Forked workers inherit the parent recorder wholesale — open
+        phase stack, counters, even collected spans — which would make
+        worker telemetry depend on *when* the pool happened to spawn.
+        Pool task wrappers call this before recording; it is a no-op in
+        the process that created the recorder.
+        """
+        if self._pid == os.getpid():
+            return
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._phases = {}
+        self._counters = {}
+        self._stack = []
+        self.trace_id = None
+        self._trace_parent = None
+        self._span_stack = []
+        self._spans = []
 
     # -- recording -----------------------------------------------------------
 
@@ -58,17 +166,38 @@ class PerfRecorder:
         """Time a named phase; nested phases record under dotted paths."""
         path = f"{self._stack[-1]}.{name}" if self._stack else name
         self._stack.append(path)
+        span_id: str | None = None
+        if self.trace_id is not None:
+            span_id = new_span_id()
+            self._span_stack.append(span_id)
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
             self._stack.pop()
-            self._phases.setdefault(path, PhaseStats()).add(elapsed)
+            with self._lock:
+                self._phases.setdefault(path, PhaseStats()).add(elapsed)
+            if span_id is not None:
+                self._span_stack.pop()
+                parent = self._span_stack[-1] if self._span_stack else self._trace_parent
+                self._spans.append(
+                    Span(
+                        name=path,
+                        trace_id=self.trace_id or "",
+                        span_id=span_id,
+                        parent_id=parent,
+                        start_us=int(start * 1e6),
+                        dur_us=int(elapsed * 1e6),
+                        pid=os.getpid(),
+                        tid=threading.get_ident() & 0x7FFFFFFF,
+                    )
+                )
 
     def add_counter(self, name: str, value: int = 1) -> None:
         """Bump an integer counter (e.g. entries processed)."""
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def set_counter(self, name: str, value: int) -> None:
         """Pin a counter to an absolute value (idempotent, unlike add).
@@ -77,13 +206,111 @@ class PerfRecorder:
         ``publishes_per_worker`` — where repeated events must not
         accumulate.
         """
-        self._counters[name] = value
+        with self._lock:
+            self._counters[name] = value
 
     def reset(self) -> None:
-        """Clear all recorded phases and counters."""
-        self._phases.clear()
-        self._counters.clear()
+        """Clear all recorded phases, counters, spans, and trace state."""
+        with self._lock:
+            self._phases.clear()
+            self._counters.clear()
         self._stack.clear()
+        self.trace_id = None
+        self._trace_parent = None
+        self._span_stack.clear()
+        self._spans.clear()
+
+    # -- tracing -------------------------------------------------------------
+
+    def start_trace(self, trace_id: str | None = None, parent_span_id: str | None = None) -> str:
+        """Begin collecting spans; returns the (possibly generated) trace id.
+
+        Workers call this with the parent's trace id and the span id
+        active at map time so their spans parent correctly.
+        """
+        self.trace_id = trace_id or new_trace_id()
+        self._trace_parent = parent_span_id
+        self._spans.clear()
+        return self.trace_id
+
+    def adopt_trace(self, trace_id: str | None, parent_span_id: str | None) -> None:
+        """Join (or re-parent within) a trace started elsewhere.
+
+        Pool workers call this per task: the first call joins the
+        parent's trace, later calls just update the foreign parent
+        span so each task links to the span open at *its* map.
+        """
+        if trace_id is None:
+            return
+        if self.trace_id != trace_id:
+            self.start_trace(trace_id, parent_span_id)
+        else:
+            self._trace_parent = parent_span_id
+
+    def stop_trace(self) -> list[Span]:
+        """End the trace and drain every collected span."""
+        spans, self._spans = self._spans, []
+        self.trace_id = None
+        self._trace_parent = None
+        return spans
+
+    def take_spans(self) -> list[Span]:
+        """Drain collected spans without ending the trace."""
+        spans, self._spans = self._spans, []
+        return spans
+
+    def current_span_id(self) -> str | None:
+        """The innermost open span id (or the foreign parent, if any)."""
+        if self._span_stack:
+            return self._span_stack[-1]
+        return self._trace_parent
+
+    # -- worker deltas -------------------------------------------------------
+
+    def mark(self) -> RecorderMark:
+        """Snapshot current counters/phases/spans (taken before a task)."""
+        with self._lock:
+            return RecorderMark(
+                counters=dict(self._counters),
+                phases={k: (s.seconds, s.calls) for k, s in self._phases.items()},
+                span_index=len(self._spans),
+            )
+
+    def delta_since(self, mark: RecorderMark) -> RecorderDelta:
+        """What was recorded since ``mark``; drains the spans it returns."""
+        with self._lock:
+            counters = {
+                name: value - mark.counters.get(name, 0)
+                for name, value in self._counters.items()
+                if value != mark.counters.get(name, 0)
+            }
+            phases: dict[str, tuple[float, int]] = {}
+            for name, stats in self._phases.items():
+                base_s, base_c = mark.phases.get(name, (0.0, 0))
+                if stats.seconds != base_s or stats.calls != base_c:
+                    phases[name] = (stats.seconds - base_s, stats.calls - base_c)
+        spans = tuple(self._spans[mark.span_index :])
+        del self._spans[mark.span_index :]
+        return RecorderDelta(counters=counters, phases=phases, spans=spans)
+
+    def merge_delta(self, delta: RecorderDelta) -> None:
+        """Fold one worker delta in: counters add, phases land under
+        ``workers.*``, spans join the active trace.
+
+        Iteration is over *sorted* names so the merge order — and hence
+        the resulting dict key order — is fixed regardless of how the
+        delta dicts were built.
+        """
+        with self._lock:
+            for name in sorted(delta.counters):
+                self._counters[name] = self._counters.get(name, 0) + delta.counters[name]
+            for name in sorted(delta.phases):
+                seconds, calls = delta.phases[name]
+                stats = self._phases.setdefault(f"{WORKER_PHASE_PREFIX}.{name}", PhaseStats())
+                stats.seconds += seconds
+                stats.calls += calls
+        if self.trace_id is not None and delta.spans:
+            self._spans.extend(delta.spans)
 
     # -- reading -------------------------------------------------------------
 
@@ -138,13 +365,24 @@ def reset() -> None:
     _DEFAULT.reset()
 
 
-def peak_rss_mb() -> float:
-    """This process's peak resident set size in MiB (0.0 if unknown)."""
+def peak_rss_mb(children: bool = True) -> float:
+    """Peak resident set size in MiB (0.0 if unknown).
+
+    With ``children=True`` (the default) this is the max of the
+    process's own peak and the peak of any waited-for child
+    (``RUSAGE_CHILDREN``), so benches under ``REPRO_BACKEND=process``
+    report the true high-water mark per process rather than just the
+    parent's.  The max — not the sum — is reported because children
+    run concurrently with the parent and each other; summing maxima
+    would overstate any single process's footprint.
+    """
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX platforms
         return 0.0
     rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if children:
+        rss = max(rss, resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
     # ru_maxrss is kilobytes on Linux but bytes on macOS.
     divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
     return round(rss / divisor, 2)

@@ -46,7 +46,21 @@ Perf counters (recorded on the default :mod:`repro.perf` recorder, so
   the per-process pool initializer;
 - ``runtime.task_payload_bytes`` / ``runtime.tasks`` — pickled bytes
   and count of per-task payloads on process maps (handles + shards,
-  now that the fat state rides in the context).
+  now that the fat state rides in the context);
+- ``runtime.deltas_merged`` — worker recorder deltas folded back into
+  the parent recorder (one per pooled process task).
+
+Worker-side telemetry: process workers record onto their *own* default
+recorder, which the parent can't see.  :class:`ProcessExecutor` wraps
+every pooled task in :class:`_ShippedTask`, which snapshots the worker
+recorder before running the task and ships the delta — counters, phase
+seconds, spans — back alongside the result.  The parent merges deltas
+in input (task) order with sorted-name inner order, so counter totals
+are identical across serial/thread/process backends and worker-side
+counters like ``dates.fetch_retried`` are no longer silently lost.
+When the parent recorder has an active trace, the wrapper also opens a
+per-task span in the worker (same trace id, parented to the span open
+at map time), giving traces one lane per worker pid.
 """
 
 from __future__ import annotations
@@ -291,6 +305,39 @@ class ThreadExecutor(_PooledExecutor):
         )
 
 
+class _ShippedTask:
+    """Wraps a pooled process task to ship its telemetry delta home.
+
+    Runs in the worker: snapshots the worker-local recorder, runs the
+    wrapped function, and returns ``(result, RecorderDelta)`` so the
+    parent can merge what the task recorded (counters, phase seconds,
+    spans) in fixed task order.  When the parent was tracing at map
+    time, the worker joins the same trace and the task itself becomes a
+    span (named after the callable, parented to the parent's open
+    span), so traces grow one lane per worker pid.
+    """
+
+    __slots__ = ("fn", "parent_span_id", "task_name", "trace_id")
+
+    def __init__(self, fn: Callable[..., Any], trace_id: str | None, parent_span_id: str | None) -> None:
+        self.fn = fn
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+        self.task_name = getattr(fn, "__name__", None) or type(fn).__name__
+
+    def __call__(self, item: Any) -> tuple[Any, perf.RecorderDelta]:
+        recorder = perf.get_recorder()
+        recorder.reset_after_fork()
+        recorder.adopt_trace(self.trace_id, self.parent_span_id)
+        mark = recorder.mark()
+        if self.trace_id is not None:
+            with recorder.phase(self.task_name):
+                result = self.fn(item)
+        else:
+            result = self.fn(item)
+        return result, recorder.delta_since(mark)
+
+
 class ProcessExecutor(_PooledExecutor):
     """Process-pool backend — for pure-Python CPU-bound work.
 
@@ -390,19 +437,30 @@ class ProcessExecutor(_PooledExecutor):
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         if self.workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        self._before_map(fn, items)
+        recorder = perf.get_recorder()
+        shipped = _ShippedTask(fn, recorder.trace_id, recorder.current_span_id())
+        self._before_map(shipped, items)
         for attempt in range(self.MAP_ATTEMPTS):
             if self._pool is None:
                 self._pool = self._make_pool()
             if faults.should("worker", "kill", token="process-pool"):
                 self._kill_one_worker()
             try:
-                return list(self._pool.map(fn, items))
+                raw = list(self._pool.map(shipped, items))
             except concurrent.futures.process.BrokenProcessPool:
                 perf.add_counter("runtime.pool_respawns", 1)
                 self.close()  # discard the broken pool; retry respawns
                 if attempt + 1 >= self.MAP_ATTEMPTS:
                     raise
+                continue
+            # A broken map raises before any delta merges, so a retried
+            # map merges each task's telemetry exactly once.
+            results: list[R] = []
+            for result, delta in raw:
+                recorder.merge_delta(delta)
+                results.append(result)
+            perf.add_counter("runtime.deltas_merged", len(raw))
+            return results
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _before_map(self, fn: Callable[[T], R], items: Sequence[T]) -> None:

@@ -11,11 +11,26 @@ Endpoints::
 
     GET  /healthz                         liveness + live version
     GET  /v1/stats                        §3 snapshot statistics
-    GET  /v1/metrics                      request counters + cache stats
+    GET  /v1/metrics                      request counters + cache stats (JSON)
+    GET  /metrics                         Prometheus text exposition 0.0.4
     GET  /v1/cve/<id>                     one rectified CVE
     GET  /v1/vendor/<name>                consolidated vendor view
     GET  /v1/product/<vendor>/<product>   consolidated product view
     POST /v1/severity/predict             §4.3 prediction for a posted body
+
+Telemetry: every request feeds the service's
+:class:`repro.obs.MetricsRegistry` — ``repro_http_requests_total``
+labelled by endpoint and status, a fixed-bucket per-endpoint latency
+histogram, cache/breaker/supervisor series — rendered at ``/metrics``
+with the correct content type, while ``/v1/metrics`` keeps its
+backward-compatible JSON shape.  Each request gets a trace id (or
+honours one sent as ``X-Repro-Trace-Id``) which is echoed back in the
+``X-Repro-Trace-Id`` response header; with a trace target configured
+the service streams one span per request into a Chrome trace-event
+file, and with ``--access-log`` it appends one JSONL line per request
+(ts, method, path, status, latency ms, cache hit, trace id) — the
+structured replacement for the suppressed ``BaseHTTPRequestHandler``
+stderr log.
 
 The vendor and product views page their id lists: ``?offset=N`` and
 ``?limit=N`` (1..500, default 500) select a window, ``next_offset`` in
@@ -52,21 +67,32 @@ degraded flag.
 from __future__ import annotations
 
 import collections
+import dataclasses
+import datetime
 import http.server
 import json
 import os
 import pathlib
+import re
 import socket
 import threading
 import time
 import urllib.parse
 
-from repro import faults
+from repro import faults, perf
 from repro.artifacts import ArtifactError, read_current
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    TraceWriter,
+    registry_from_perf,
+    render_prometheus,
+)
+from repro.obs.trace import process_name_event, trace_target
 from repro.runtime import resolve_workers
 from repro.service.state import MAX_IDS, ServiceError, ServiceState
 
-__all__ = ["ApiHandler", "NvdService", "create_server", "serve"]
+__all__ = ["ApiHandler", "NvdService", "ServiceResponse", "create_server", "serve"]
 
 #: the supervisor's status drop-box, relative to the artifact root.
 SUPERVISOR_STATUS = ".supervisor.json"
@@ -79,6 +105,45 @@ _CACHEABLE_PREFIXES = ("/v1/stats", "/v1/cve/", "/v1/vendor/", "/v1/product/")
 #: query parameters any route consumes — the only ones that can change
 #: a response, and therefore the only ones allowed into cache keys.
 _QUERY_PARAMS = frozenset({"offset", "limit"})
+
+#: fixed latency-histogram boundaries (seconds).  Declared, never
+#: derived from traffic, so exposition output is deterministic.
+REQUEST_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: accepted shape for a client-supplied X-Repro-Trace-Id.
+_TRACE_ID_RE = re.compile(r"[0-9a-fA-F-]{1,64}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceResponse:
+    """One routed response: status, body, content type, and trace id."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    trace_id: str | None = None
+
+
+class AccessLog:
+    """Append-only JSONL request log (one flushed line per request)."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = pathlib.Path(path)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
 
 
 def _int_param(
@@ -156,6 +221,8 @@ class NvdService:
         reload_interval: float = 1.0,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 5.0,
+        access_log: str | os.PathLike[str] | None = None,
+        trace_path: str | os.PathLike[str] | None = None,
     ) -> None:
         self.root = pathlib.Path(root)
         #: a pinned server never hot-swaps (explicit --version).
@@ -175,6 +242,84 @@ class NvdService:
         self._breaker_failures = 0
         self._breaker_open_until: float | None = None
         self._supervisor_cache: tuple[int, dict | None] | None = None
+        self.registry = self._build_registry()
+        self._access_log = AccessLog(access_log) if access_log else None
+        self._trace: TraceWriter | None = None
+        if trace_path:
+            self._trace = TraceWriter(trace_path)
+            self._trace.add_event(
+                process_name_event(os.getpid(), f"{SERVICE_NAME} (pid {os.getpid()})")
+            )
+
+    def _build_registry(self) -> MetricsRegistry:
+        """Declare every service metric once, with fixed buckets."""
+        registry = MetricsRegistry()
+        self._prom_requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, labelled by endpoint and status code.",
+            labels=("endpoint", "status"),
+        )
+        self._prom_latency = registry.histogram(
+            "repro_http_request_seconds",
+            "Request handling latency in seconds, per endpoint.",
+            REQUEST_LATENCY_BUCKETS,
+            labels=("endpoint",),
+        )
+        self._prom_cache = registry.counter(
+            "repro_http_cache_total",
+            "Response-cache lookups on cacheable routes.",
+            labels=("outcome",),
+        )
+        self._prom_swaps = registry.counter(
+            "repro_service_hot_swaps_total", "Completed hot swaps to a new artifact version."
+        )
+        self._prom_reload_failures = registry.counter(
+            "repro_service_reload_failures_total", "Failed hot-swap reload attempts."
+        )
+        self._prom_breaker_opened = registry.counter(
+            "repro_service_breaker_opened_total",
+            "Times the reload circuit breaker opened.",
+        )
+        self._g_degraded = registry.gauge(
+            "repro_service_degraded",
+            "1 while the service is degraded (breaker tripped or dead workers).",
+        )
+        self._g_breaker_open = registry.gauge(
+            "repro_service_breaker_open",
+            "1 while the reload circuit breaker is in its cooldown.",
+        )
+        self._g_breaker_failures = registry.gauge(
+            "repro_service_breaker_consecutive_failures",
+            "Consecutive reload failures feeding the breaker.",
+        )
+        self._g_cache_entries = registry.gauge(
+            "repro_http_cache_entries", "Entries in the response cache."
+        )
+        self._g_uptime = registry.gauge(
+            "repro_service_uptime_seconds", "Seconds since this worker started."
+        )
+        self._g_info = registry.gauge(
+            "repro_service_info",
+            "Static service identity; the value is always 1.",
+            labels=("service", "version", "model"),
+        )
+        self._g_sup_alive = registry.gauge(
+            "repro_supervisor_workers_alive",
+            "Serve workers the supervisor reports alive.",
+        )
+        self._g_sup_restarts = registry.gauge(
+            "repro_supervisor_restarts",
+            "Worker restarts performed by the supervisor.",
+        )
+        self._info_series = None
+        return registry
+
+    def close(self) -> None:
+        """Release the access log and trace writer (idempotent)."""
+        if self._access_log is not None:
+            self._access_log.close()
+        if self._trace is not None:
+            self._trace.close()
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -263,12 +408,14 @@ class NvdService:
                 # Mid-export or corrupt pointer target: keep serving
                 # the loaded version; the next interval retries.
                 self._bump("reload_failures")
+                self._prom_reload_failures.inc()
                 self._breaker_failures += 1
                 if self._breaker_failures >= self.breaker_threshold:
                     self._breaker_open_until = (
                         time.monotonic() + self.breaker_cooldown
                     )
                     self._bump("breaker_opened")
+                    self._prom_breaker_opened.inc()
                 return False
             self._breaker_failures = 0
             self._breaker_open_until = None
@@ -276,14 +423,54 @@ class NvdService:
             self._cache.clear()
             self.swaps += 1
             self._bump("hot_swaps")
+            self._prom_swaps.inc()
             return True
         finally:
             self._swap_lock.release()
 
     # -- request handling ----------------------------------------------------
 
-    def handle(self, method: str, path: str, body: bytes | None) -> tuple[int, bytes]:
-        """Route one request; returns ``(status, JSON body bytes)``."""
+    @staticmethod
+    def _route_label(method: str, path: str) -> str | None:
+        """The endpoint label for metrics — from path *shape*, never
+        from path values, so label cardinality stays bounded."""
+        parts = [urllib.parse.unquote(part) for part in path.split("/") if part]
+        if method == "GET":
+            if path == "/healthz":
+                return "healthz"
+            if path == "/v1/stats":
+                return "stats"
+            if path == "/v1/metrics":
+                return "metrics"
+            if path == "/metrics":
+                return "prometheus"
+            if len(parts) == 3 and parts[:2] == ["v1", "cve"]:
+                return "cve"
+            if len(parts) == 3 and parts[:2] == ["v1", "vendor"]:
+                return "vendor"
+            if len(parts) == 4 and parts[:2] == ["v1", "product"]:
+                return "product"
+        elif method == "POST" and path == "/v1/severity/predict":
+            return "predict"
+        return None
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        trace_id: str | None = None,
+    ) -> ServiceResponse:
+        """Route one request.
+
+        ``trace_id`` is the client's ``X-Repro-Trace-Id``, if any — an
+        unusable value is replaced, never trusted into logs.  The
+        returned :class:`ServiceResponse` carries the body, content
+        type, and the trace id the transport layer echoes back.
+        """
+        started = time.perf_counter()
+        if trace_id is None or not _TRACE_ID_RE.fullmatch(trace_id):
+            trace_id = perf.new_trace_id()
         self.maybe_reload()
         # One state snapshot per request: dispatch and the cache key use
         # the same version, so a hot swap mid-request can at worst store
@@ -291,8 +478,19 @@ class NvdService:
         # data under the new one.
         state = self._state
         self._bump("requests_total")
+        raw_path = path
         path, _, query = path.partition("?")
+        route = self._route_label(method, path)
+        if route is not None:
+            self._bump(f"endpoint_{route}")
         params = urllib.parse.parse_qs(query)
+        if method == "GET" and path == "/metrics":
+            text = self.render_metrics_text()
+            response = ServiceResponse(
+                200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE, trace_id
+            )
+            self._bump("responses_2xx")
+            return self._finish(response, route, method, raw_path, started, False)
         cacheable = method == "GET" and any(
             path == prefix or path.startswith(prefix)
             for prefix in _CACHEABLE_PREFIXES
@@ -316,8 +514,13 @@ class NvdService:
             if cached is not None:
                 self._bump("cache_hits")
                 self._bump(f"responses_{cached[0] // 100}xx")
-                return cached
+                self._prom_cache.labels("hit").inc()
+                response = ServiceResponse(
+                    cached[0], cached[1], "application/json", trace_id
+                )
+                return self._finish(response, route, method, raw_path, started, True)
             self._bump("cache_misses")
+            self._prom_cache.labels("miss").inc()
         try:
             status, payload = self._dispatch(state, method, path, params, body)
         except ServiceError as error:
@@ -326,9 +529,58 @@ class NvdService:
             self._bump("errors_internal")
             status, payload = 500, {"error": f"internal error: {error}"}
         self._bump(f"responses_{status // 100}xx")
-        response = (status, json.dumps(payload).encode("utf-8"))
+        body_bytes = json.dumps(payload).encode("utf-8")
         if cacheable and status == 200:
-            self._cache.put(cache_key, response)
+            self._cache.put(cache_key, (status, body_bytes))
+        response = ServiceResponse(status, body_bytes, "application/json", trace_id)
+        return self._finish(response, route, method, raw_path, started, False)
+
+    def _finish(
+        self,
+        response: ServiceResponse,
+        route: str | None,
+        method: str,
+        raw_path: str,
+        started: float,
+        cache_hit: bool,
+    ) -> ServiceResponse:
+        """Per-request telemetry: registry series, access log, span."""
+        elapsed = time.perf_counter() - started
+        endpoint = route or "unknown"
+        self._prom_requests.labels(endpoint, str(response.status)).inc()
+        self._prom_latency.labels(endpoint).observe(elapsed)
+        if self._access_log is not None:
+            self._access_log.write(
+                {
+                    "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                        timespec="milliseconds"
+                    ),
+                    "method": method,
+                    "path": raw_path,
+                    "status": response.status,
+                    "latency_ms": round(elapsed * 1000.0, 3),
+                    "cache_hit": cache_hit,
+                    "trace_id": response.trace_id,
+                }
+            )
+        if self._trace is not None:
+            self._trace.add_event(
+                {
+                    "name": f"{method} {endpoint}",
+                    "cat": "request",
+                    "ph": "X",
+                    "ts": int(started * 1e6),
+                    "dur": int(elapsed * 1e6),
+                    "pid": os.getpid(),
+                    "tid": threading.get_ident() & 0x7FFFFFFF,
+                    "args": {
+                        "path": raw_path,
+                        "status": response.status,
+                        "cache_hit": cache_hit,
+                        "trace_id": response.trace_id,
+                    },
+                }
+            )
         return response
 
     def _dispatch(
@@ -339,10 +591,11 @@ class NvdService:
         params: dict[str, list[str]],
         body: bytes | None,
     ) -> tuple[int, object]:
+        # endpoint_* counters are bumped by handle() via _route_label,
+        # which recognises the same path shapes dispatched here.
         parts = [urllib.parse.unquote(part) for part in path.split("/") if part]
         if method == "GET":
             if path == "/healthz":
-                self._bump("endpoint_healthz")
                 return 200, {
                     "status": "degraded" if self.degraded else "ok",
                     "service": SERVICE_NAME,
@@ -350,28 +603,22 @@ class NvdService:
                     "model": state.model_used,
                 }
             if path == "/v1/stats":
-                self._bump("endpoint_stats")
                 return 200, state.stats_payload()
             if path == "/v1/metrics":
-                self._bump("endpoint_metrics")
                 return 200, self.metrics_payload()
             if len(parts) == 3 and parts[:2] == ["v1", "cve"]:
-                self._bump("endpoint_cve")
                 return 200, state.cve_payload(parts[2])
             if len(parts) == 3 and parts[:2] == ["v1", "vendor"]:
-                self._bump("endpoint_vendor")
                 offset = _int_param(params, "offset", 0, minimum=0)
                 limit = _int_param(params, "limit", MAX_IDS, minimum=1, maximum=MAX_IDS)
                 return 200, state.vendor_payload(parts[2], offset=offset, limit=limit)
             if len(parts) == 4 and parts[:2] == ["v1", "product"]:
-                self._bump("endpoint_product")
                 offset = _int_param(params, "offset", 0, minimum=0)
                 limit = _int_param(params, "limit", MAX_IDS, minimum=1, maximum=MAX_IDS)
                 return 200, state.product_payload(
                     parts[2], parts[3], offset=offset, limit=limit
                 )
         elif method == "POST" and path == "/v1/severity/predict":
-            self._bump("endpoint_predict")
             if not body:
                 raise ServiceError(400, "request body is required")
             try:
@@ -404,6 +651,31 @@ class NvdService:
             payload["supervisor"] = supervisor
         return payload
 
+    def render_metrics_text(self) -> str:
+        """The Prometheus exposition for ``/metrics``.
+
+        Gauges refresh at render time (uptime, cache size, breaker and
+        supervisor state); the perf recorder's pipeline counters append
+        under their own ``repro_*`` families via the bridge, so any
+        in-process pipeline work (ingest, warmup) is visible too.
+        """
+        state = self._state
+        self._g_uptime.set(round(time.time() - self._started, 3))
+        self._g_cache_entries.set(len(self._cache))
+        self._g_degraded.set(1.0 if self.degraded else 0.0)
+        self._g_breaker_open.set(1.0 if self.breaker_open else 0.0)
+        self._g_breaker_failures.set(self._breaker_failures)
+        info = self._g_info.labels(SERVICE_NAME, state.version, state.model_used)
+        if self._info_series is not None and self._info_series is not info:
+            self._info_series.set(0)  # retire the pre-swap identity series
+        info.set(1)
+        self._info_series = info
+        supervisor = self.supervisor_status()
+        if supervisor is not None:
+            self._g_sup_alive.set(supervisor.get("alive", 0))
+            self._g_sup_restarts.set(supervisor.get("restarts", 0))
+        return render_prometheus(self.registry, registry_from_perf(perf.get_recorder()))
+
 
 class ApiHandler(http.server.BaseHTTPRequestHandler):
     """Thin adapter from the socket layer to :meth:`NvdService.handle`."""
@@ -412,7 +684,7 @@ class ApiHandler(http.server.BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        pass  # metrics replace the default stderr chatter
+        pass  # metrics and the JSONL access log replace stderr chatter
 
     def _respond(self, method: str) -> None:
         service: NvdService = self.server.service  # type: ignore[attr-defined]
@@ -420,12 +692,16 @@ class ApiHandler(http.server.BaseHTTPRequestHandler):
         if method == "POST":
             length = int(self.headers.get("Content-Length") or 0)
             body = self.rfile.read(length) if length else b""
-        status, payload = service.handle(method, self.path, body)
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(payload)))
+        response = service.handle(
+            method, self.path, body, trace_id=self.headers.get("X-Repro-Trace-Id")
+        )
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        if response.trace_id:
+            self.send_header("X-Repro-Trace-Id", response.trace_id)
         self.end_headers()
-        self.wfile.write(payload)
+        self.wfile.write(response.body)
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         self._respond("GET")
@@ -457,6 +733,10 @@ class _ServiceServer(http.server.ThreadingHTTPServer):
             self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         super().server_bind()
 
+    def server_close(self) -> None:
+        super().server_close()
+        self.service.close()  # flush + close access log and trace file
+
 
 def create_server(
     root: str | os.PathLike[str],
@@ -469,6 +749,8 @@ def create_server(
     reuse_port: bool = False,
     breaker_threshold: int = 3,
     breaker_cooldown: float = 5.0,
+    access_log: str | os.PathLike[str] | None = None,
+    trace_path: str | os.PathLike[str] | None = None,
 ) -> _ServiceServer:
     """Cold-start a server from an artifact store (no retraining).
 
@@ -476,7 +758,9 @@ def create_server(
     call ``serve_forever()`` to run.  ``reuse_port=True`` binds with
     ``SO_REUSEPORT`` so several server processes can share one port —
     the kernel load-balances incoming connections across them (the
-    multi-process serving path).
+    multi-process serving path).  ``access_log`` appends one JSONL line
+    per request; ``trace_path`` streams one Chrome trace-event span per
+    request (both closed with the server).
     """
     service = NvdService(
         root,
@@ -485,6 +769,8 @@ def create_server(
         reload_interval=reload_interval,
         breaker_threshold=breaker_threshold,
         breaker_cooldown=breaker_cooldown,
+        access_log=access_log,
+        trace_path=trace_path,
     )
     return _ServiceServer((host, port), service, reuse_port=reuse_port)
 
@@ -497,6 +783,8 @@ def serve(
     version: str | None = None,
     reload_interval: float = 1.0,
     workers: int | None = None,
+    access_log: str | os.PathLike[str] | None = None,
+    trace_path: str | os.PathLike[str] | None = None,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` command).
 
@@ -505,7 +793,15 @@ def serve(
     multi-process ``SO_REUSEPORT`` plane
     (:class:`repro.service.supervisor.ServeSupervisor` — crashed
     workers respawn under a restart budget with backoff).
+
+    ``access_log`` (``--access-log``) appends one JSONL line per
+    request; under the supervisor every worker appends to the same
+    file (O_APPEND, one flushed line per write, so lines never tear).
+    ``trace_path`` (default: ``REPRO_TRACE``) streams per-request
+    spans; supervised workers each write ``<path>.w<index>`` since a
+    JSON array cannot be safely interleaved by several processes.
     """
+    trace_path = trace_path or trace_target()
     count = resolve_workers(workers)
     if count > 1:
         from repro.service.supervisor import ServeSupervisor
@@ -517,9 +813,17 @@ def serve(
             workers=count,
             version=version,
             reload_interval=reload_interval,
+            access_log=access_log,
+            trace_path=trace_path,
         ).run()
     server = create_server(
-        root, host, port, version=version, reload_interval=reload_interval
+        root,
+        host,
+        port,
+        version=version,
+        reload_interval=reload_interval,
+        access_log=access_log,
+        trace_path=trace_path,
     )
     bound_host, bound_port = server.server_address[:2]
     state = server.service.state

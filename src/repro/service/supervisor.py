@@ -56,6 +56,12 @@ def _worker_main(config: dict, index: int) -> None:
     count them apart from crashes; SIGINT/SIGTERM exit cleanly.
     """
     signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    # Every worker appends to the shared access log (O_APPEND + one
+    # flushed line per request keeps lines whole), but traces split per
+    # worker: a JSON event array cannot be interleaved across writers.
+    trace_path = config.get("trace_path")
+    if trace_path:
+        trace_path = f"{trace_path}.w{index}"
     try:
         server = create_server(
             config["root"],
@@ -64,6 +70,8 @@ def _worker_main(config: dict, index: int) -> None:
             version=config["version"],
             reload_interval=config["reload_interval"],
             reuse_port=True,
+            access_log=config.get("access_log"),
+            trace_path=trace_path,
         )
     except Exception:
         sys.exit(START_FAILED)
@@ -91,6 +99,8 @@ class ServeSupervisor:
         backoff_base: float = 0.25,
         backoff_max: float = 5.0,
         poll_interval: float = 0.1,
+        access_log: str | os.PathLike[str] | None = None,
+        trace_path: str | os.PathLike[str] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
@@ -104,6 +114,8 @@ class ServeSupervisor:
         self.backoff_base = float(backoff_base)
         self.backoff_max = float(backoff_max)
         self.poll_interval = float(poll_interval)
+        self.access_log = os.fspath(access_log) if access_log is not None else None
+        self.trace_path = os.fspath(trace_path) if trace_path is not None else None
         self._procs: list[multiprocessing.Process | None] = [None] * self.workers
         self._restarts = [0] * self.workers
         self._respawn_at = [0.0] * self.workers
@@ -156,6 +168,8 @@ class ServeSupervisor:
             "port": self.port,
             "version": self.version,
             "reload_interval": self.reload_interval,
+            "access_log": self.access_log,
+            "trace_path": self.trace_path,
         }
 
     def _spawn(self, index: int) -> None:

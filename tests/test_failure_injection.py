@@ -447,9 +447,9 @@ class TestCircuitBreaker:
         assert payload["counters"]["reload_failures"] == 3
         assert payload["breaker"]["open"] is True
         assert payload["degraded"] is True
-        status, body = service.handle("GET", "/healthz", None)
-        assert status == 200
-        assert json.loads(body)["status"] == "degraded"
+        response = service.handle("GET", "/healthz", None)
+        assert response.status == 200
+        assert json.loads(response.body)["status"] == "degraded"
         # while open, reloads are not even attempted
         service.maybe_reload()
         assert service.metrics_payload()["counters"]["reload_failures"] == 3

@@ -639,3 +639,59 @@ class TestDataParallelFit:
         assert parallel.pv3_scores == serial.pv3_scores  # exact float equality
         assert parallel.pv3_severity == serial.pv3_severity
         assert list(parallel.snapshot) == list(serial.snapshot)
+
+
+# -- perf-counter aggregation --------------------------------------------------
+
+
+class TestCounterTotalsBackendInvariant:
+    """clean() perf-counter totals must not depend on the backend.
+
+    Worker-side counters (fetch retries, estimator tallies) recorded
+    inside process-pool workers ship home as recorder deltas alongside
+    task results; before that plane existed they silently vanished
+    under ``REPRO_BACKEND=process``.  Backend-variant bookkeeping is
+    excluded: ``runtime.*`` counts the plumbing itself,
+    ``dates.cache_*`` splits hit/miss differently across per-worker
+    cache copies, and ``clean.workers`` *is* the worker count.
+    """
+
+    @staticmethod
+    def _variant(name: str) -> bool:
+        return (
+            name.startswith(("runtime.", "dates.cache_"))
+            or name == "clean.workers"
+        )
+
+    @classmethod
+    def _clean_counters(cls, bundle, executor) -> dict[str, int]:
+        from repro import perf
+
+        recorder = perf.get_recorder()
+        recorder.reset()
+        with executor:
+            clean(
+                bundle.snapshot,
+                bundle.web,
+                from_ground_truth(bundle.truth.vendor_map),
+                product_oracle_from_truth(bundle.truth.product_map),
+                engine_config=EngineConfig(epochs=1, models=("lr",)),
+                executor=executor,
+            )
+        return {
+            name: value
+            for name, value in recorder.counters.items()
+            if not cls._variant(name)
+        }
+
+    @pytest.fixture(scope="class")
+    def serial_counters(self, scale_002_bundle):
+        return self._clean_counters(scale_002_bundle, SerialExecutor())
+
+    @pytest.mark.parametrize("executor_cls", [ThreadExecutor, ProcessExecutor])
+    def test_scale_002_counter_totals_match_serial(
+        self, scale_002_bundle, serial_counters, executor_cls
+    ):
+        assert serial_counters, "the pin must pin something"
+        parallel = self._clean_counters(scale_002_bundle, executor_cls(2))
+        assert parallel == serial_counters

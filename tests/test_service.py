@@ -447,3 +447,126 @@ class TestMultiProcessServing:
                 process.kill()
                 process.wait(timeout=10)
         assert process.returncode == 0
+
+
+class TestTelemetryPlane:
+    """Prometheus /metrics, trace-id echo, access log, JSON compat."""
+
+    @staticmethod
+    def _check_metrics():
+        import importlib.util
+        import pathlib
+
+        path = pathlib.Path(__file__).parent.parent / "tools" / "check_metrics.py"
+        spec = importlib.util.spec_from_file_location("check_metrics", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _get_raw(base_url, path, headers=None):
+        request = urllib.request.Request(base_url + path, headers=headers or {})
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                response.read().decode("utf-8"),
+            )
+
+    def test_metrics_exposition_lints_clean(self, base_url):
+        from repro.obs import PROMETHEUS_CONTENT_TYPE
+
+        status, headers, text = self._get_raw(base_url, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert self._check_metrics().lint_exposition(text) == []
+        for family in (
+            "repro_http_requests_total",
+            "repro_http_request_seconds_bucket",
+            "repro_http_cache_total",
+            "repro_service_uptime_seconds",
+            "repro_service_info",
+        ):
+            assert family in text, family
+
+    def test_request_counters_carry_endpoint_and_status_labels(self, base_url):
+        get(base_url, "/healthz")
+        get(base_url, "/v1/cve/CVE-1999-99999")  # a 404
+        _, _, text = self._get_raw(base_url, "/metrics")
+        assert 'repro_http_requests_total{endpoint="healthz",status="200"}' in text
+        assert 'repro_http_requests_total{endpoint="cve",status="404"}' in text
+
+    def test_trace_id_generated_and_echoed(self, base_url):
+        _, headers, _ = self._get_raw(base_url, "/healthz")
+        assert headers["X-Repro-Trace-Id"]
+        _, echoed, _ = self._get_raw(
+            base_url, "/healthz", headers={"X-Repro-Trace-Id": "abc123"}
+        )
+        assert echoed["X-Repro-Trace-Id"] == "abc123"
+
+    def test_invalid_client_trace_id_is_replaced(self, base_url):
+        _, headers, _ = self._get_raw(
+            base_url, "/healthz", headers={"X-Repro-Trace-Id": "not hex!{}"}
+        )
+        assert headers["X-Repro-Trace-Id"] != "not hex!{}"
+
+    def test_v1_metrics_json_stays_backward_compatible(self, base_url):
+        status, payload = get(base_url, "/v1/metrics")
+        assert status == 200
+        for key in (
+            "service", "version", "model", "uptime_s", "cache_entries",
+            "swaps", "counters", "degraded", "breaker",
+        ):
+            assert key in payload, key
+        assert isinstance(payload["counters"], dict)
+
+    def test_access_log_and_request_trace(self, store, tmp_path_factory):
+        """A private server with --access-log/--trace wiring: every
+        request appends one JSONL record and streams one request span."""
+        from repro.obs import load_trace
+
+        workdir = tmp_path_factory.mktemp("telemetry")
+        access_path = workdir / "access.jsonl"
+        trace_path = workdir / "trace.json"
+        server = create_server(
+            store,
+            port=0,
+            reload_interval=0.0,
+            access_log=access_path,
+            trace_path=trace_path,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            assert get(url, "/healthz")[0] == 200
+            assert get(url, "/v1/stats")[0] == 200
+            assert get(url, "/v1/cve/CVE-1999-99999")[0] == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+        records = [
+            json.loads(line)
+            for line in access_path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert [r["path"] for r in records] == [
+            "/healthz", "/v1/stats", "/v1/cve/CVE-1999-99999",
+        ]
+        assert [r["status"] for r in records] == [200, 200, 404]
+        for record in records:
+            assert record["method"] == "GET"
+            assert record["latency_ms"] >= 0
+            assert record["cache_hit"] in (True, False)
+            assert record["trace_id"]
+            # ISO8601 UTC with explicit offset
+            assert record["ts"].endswith("+00:00")
+
+        events = load_trace(trace_path)
+        requests = [e for e in events if e.get("cat") == "request"]
+        assert [e["name"] for e in requests] == [
+            "GET healthz", "GET stats", "GET cve",
+        ]
+        assert all(e["ph"] == "X" for e in requests)

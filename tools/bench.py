@@ -26,6 +26,8 @@ Usage::
     PYTHONPATH=src python tools/bench.py --matrix chaos-names adversarial
     PYTHONPATH=src python tools/bench.py --scales 0.075 --backend process \
         --workers-sweep 1,2,4 --dp-fit              # multi-core scaling curve
+    PYTHONPATH=src python tools/bench.py --scales 0.02 --backend process \
+        --workers 2 --trace trace.json            # Perfetto span trace
     PYTHONPATH=src python tools/bench.py --check-schema BENCH_pipeline.json
 
 ``--workers-sweep 1,2,4`` appends one labelled run per worker count
@@ -38,6 +40,7 @@ configuration.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import pathlib
 import sys
@@ -108,10 +111,12 @@ def bench_one(
     crawl_cache: str | None = None,
     numeric_backend: str | None = None,
     data_parallel: bool | None = None,
+    trace_path: str | None = None,
 ) -> dict:
     """Run generate + clean at one (scale, scenario) and return the run
     record."""
     from repro import perf
+    from repro.obs import trace_session
     from repro.core import (
         EngineConfig,
         clean,
@@ -143,22 +148,28 @@ def bench_one(
         f"backend={executor.backend} numeric={resolved_numeric} "
         f"dp_fit={'on' if resolved_dp else 'off'} ..."
     )
-    t_generate = time.perf_counter()
-    bundle = generate(config)
-    generate_s = time.perf_counter() - t_generate
-
-    t_clean = time.perf_counter()
-    clean(
-        bundle.snapshot,
-        bundle.web,
-        from_ground_truth(bundle.truth.vendor_map),
-        product_oracle_from_truth(bundle.truth.product_map),
-        engine_config=engine_config,
-        executor=executor,
-        crawl_cache=crawl_cache,
+    trace_ctx = (
+        trace_session(trace_path) if trace_path else contextlib.nullcontext()
     )
-    wall_s = time.perf_counter() - t_clean
-    executor.close()
+    with trace_ctx:
+        t_generate = time.perf_counter()
+        bundle = generate(config)
+        generate_s = time.perf_counter() - t_generate
+
+        t_clean = time.perf_counter()
+        clean(
+            bundle.snapshot,
+            bundle.web,
+            from_ground_truth(bundle.truth.vendor_map),
+            product_oracle_from_truth(bundle.truth.product_map),
+            engine_config=engine_config,
+            executor=executor,
+            crawl_cache=crawl_cache,
+        )
+        wall_s = time.perf_counter() - t_clean
+        executor.close()
+    if trace_path:
+        print(f"[bench] wrote trace {trace_path}")
 
     phases = {name: round(seconds, 3) for name, seconds in recorder.phase_seconds().items()}
     phases["generate"] = round(generate_s, 3)
@@ -248,6 +259,11 @@ def main(argv: list[str] | None = None) -> int:
         "(default: REPRO_CRAWL_CACHE or no cache)",
     )
     parser.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON (Perfetto-loadable) of each "
+        "run; with multiple runs, files are suffixed -<run index>",
+    )
+    parser.add_argument(
         "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
         help="trajectory JSON to append to (default: BENCH_pipeline.json)",
     )
@@ -311,9 +327,21 @@ def main(argv: list[str] | None = None) -> int:
         document = {"schema": SCHEMA, "runs": []}
     document["schema"] = SCHEMA
 
+    n_runs = len(args.scales) * len(scenarios) * len(worker_runs)
+    run_index = 0
     for scale in args.scales:
         for scenario_name in scenarios:
             for workers, suffix in worker_runs:
+                trace_path = None
+                if args.trace is not None:
+                    trace_path = str(args.trace)
+                    if n_runs > 1:  # one trace file per run, never clobbered
+                        trace_path = str(
+                            args.trace.with_name(
+                                f"{args.trace.stem}-{run_index}{args.trace.suffix}"
+                            )
+                        )
+                run_index += 1
                 run = bench_one(
                     scale,
                     args.epochs,
@@ -325,6 +353,7 @@ def main(argv: list[str] | None = None) -> int:
                     crawl_cache=args.crawl_cache,
                     numeric_backend=args.numeric_backend,
                     data_parallel=True if args.dp_fit else None,
+                    trace_path=trace_path,
                 )
                 earlier = [
                     r

@@ -13,6 +13,10 @@ contract the fault plane promises:
   returns HTTP 200, and with ``serve.worker:kill`` in the plan a
   supervised ``repro serve --workers 2`` subprocess must respawn the
   killed worker and still shut down cleanly on SIGINT;
+- **the telemetry plane stays honest** — both flows' ``/metrics``
+  payloads pass the :mod:`check_metrics` exposition lint, and
+  ``--trace`` writes a Perfetto-loadable span trace of each flow even
+  when faults fire mid-phase;
 - **the final output is bit-identical** to the fault-free run: every
   file of the ``CURRENT`` artifact version matches byte-for-byte after
   decompression (``manifest.json`` is excluded — version numbers shift
@@ -33,6 +37,7 @@ hard guarantee instead of a lucky draw.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import gzip
 import json
 import os
@@ -50,6 +55,8 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from make_delta_feed import build_delta  # noqa: E402 (tools/ sibling)
+
+import check_metrics  # noqa: E402 (tools/ sibling)
 
 #: Default plan: flaky web fetches, one torn artifact publish, one
 #: failed hot-reload, one killed pool worker, one killed serve worker.
@@ -69,6 +76,16 @@ def log(message: str) -> None:
 def http_get(url: str, timeout: float = 10.0) -> tuple[int, dict]:
     with urllib.request.urlopen(url, timeout=timeout) as response:
         return response.status, json.loads(response.read())
+
+
+def http_get_text(url: str, timeout: float = 10.0) -> tuple[int, str, str]:
+    """(status, content type, body) for a plain-text endpoint."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
 
 
 def http_get_retry(url: str, deadline_s: float = 30.0) -> tuple[int, dict]:
@@ -96,6 +113,7 @@ def run_flow(
     n_cves: int,
     epochs: int,
     scenario_name: str = "baseline",
+    trace_path: str | None = None,
 ) -> dict:
     """crawl→clean→export→pool→ingest→serve under ``plan_text``.
 
@@ -112,6 +130,7 @@ def run_flow(
         product_oracle_from_truth,
     )
     from repro.nvd import load_feed
+    from repro.obs import trace_session
     from repro.runtime import make_executor
     from repro.service import create_server
     from repro.synth import generate, get_scenario
@@ -127,6 +146,11 @@ def run_flow(
     cache_path = workdir / "crawl_cache.json"
     summary: dict = {"label": label, "store": store}
 
+    # Span tracing must survive the fault plan: the trace file is written
+    # on ExitStack close even when a phase below raises.
+    trace = contextlib.ExitStack()
+    if trace_path:
+        trace.enter_context(trace_session(trace_path))
     try:
         # -- generate + crawl + clean + export ---------------------------
         config = scenario.generator_config(n_cves, seed)
@@ -192,6 +216,25 @@ def run_flow(
                 status, payload = http_get(base_url + path)
                 assert status == 200, f"{path} answered {status}"
             summary["metrics"] = payload
+
+            # The Prometheus plane must stay lintable under faults too.
+            status, content_type, text = http_get_text(base_url + "/metrics")
+            assert status == 200, f"/metrics answered {status}"
+            assert "version=0.0.4" in content_type, (
+                f"/metrics content type {content_type!r} is not exposition "
+                f"format 0.0.4"
+            )
+            lint_errors = check_metrics.lint_exposition(text)
+            assert not lint_errors, (
+                f"/metrics failed the exposition lint: {lint_errors}"
+            )
+            summary["prometheus_families"] = summarized = (
+                check_metrics.summarize_exposition(text)
+            )
+            log(
+                f"{label}: /metrics lint clean "
+                f"({summarized[0]} families, {summarized[1]} samples)"
+            )
         finally:
             server.shutdown()
             server.server_close()
@@ -206,6 +249,7 @@ def run_flow(
                 for site, kind in plan.specs
             }
     finally:
+        trace.close()
         faults.clear()
     return summary
 
@@ -348,6 +392,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--epochs", type=int, default=2)
     parser.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="PATH",
+        help="write Chrome trace-event JSONs of both flows "
+        "(PATH-baseline.json / PATH-faulted.json style suffixes)",
+    )
+    parser.add_argument(
         "--workdir", type=pathlib.Path, default=None,
         help="working directory (default: a fresh temp dir)",
     )
@@ -368,16 +417,26 @@ def main(argv: list[str] | None = None) -> int:
     workdir = args.workdir or pathlib.Path(tempfile.mkdtemp(prefix="repro-chaos-"))
     workdir.mkdir(parents=True, exist_ok=True)
     started = time.monotonic()
+
+    def flow_trace(label: str) -> str | None:
+        if args.trace is None:
+            return None
+        path = args.trace.with_name(
+            f"{args.trace.stem}-{label}{args.trace.suffix or '.json'}"
+        )
+        log(f"{label}: tracing to {path}")
+        return str(path)
+
     try:
         baseline = run_flow(
             workdir / "baseline",
             plan_text=None, seed=args.seed, n_cves=n_cves, epochs=args.epochs,
-            scenario_name=args.scenario,
+            scenario_name=args.scenario, trace_path=flow_trace("baseline"),
         )
         faulted = run_flow(
             workdir / "faulted",
             plan_text=args.plan, seed=args.seed, n_cves=n_cves, epochs=args.epochs,
-            scenario_name=args.scenario,
+            scenario_name=args.scenario, trace_path=flow_trace("faulted"),
         )
         fired = faulted.get("fired", {})
         log(f"faults fired: {fired}")
