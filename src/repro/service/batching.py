@@ -1,0 +1,219 @@
+"""Micro-batching for ``POST /v1/severity/predict``.
+
+Every predict request used to run its own single-row forward pass
+through the loaded model, serialised on the state's predict lock — N
+concurrent requests paid N lock acquisitions, N feature encodings and N
+tiny GEMM dispatches.  :class:`PredictBatcher` coalesces them: request
+threads enqueue their parsed bodies and block; one daemon worker drains
+the queue in batches (up to ``max_rows`` rows, waiting at most
+``window_s`` for stragglers when the queue holds a lone request) and
+runs **one** batched pass per artifact-state snapshot, scattering the
+per-row results back to the waiting threads.
+
+The window only ever delays *predict* requests — no other endpoint
+crosses this module — and it stops waiting the moment the batch is
+full.  Under sustained concurrency the window rarely binds at all:
+while one batch executes, new arrivals pile up in the queue and the
+next drain takes them all without waiting.
+
+Batch items are grouped by the exact :class:`ServiceState` snapshot
+their request captured, so a hot swap mid-batch can never mix two
+versions' models in one forward pass — each group runs against the
+state its requests were routed to, same as the unbatched path.
+
+Bit-identity contract: the executor callback (the service passes
+``ServiceState.predict_payloads``) must return, for a batch of rows,
+exactly what N single-row calls would return.  The scoring layer
+honours that by row-slicing the forward pass inside one lock
+acquisition — BLAS kernels do not preserve per-row bit patterns
+across batch shapes, so a fused multi-row GEMM would violate the
+contract (see ``ServiceState._score_entries``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable
+
+__all__ = ["PredictBatcher", "resolve_batch_window_s", "resolve_batch_rows"]
+
+#: defaults — a 2 ms straggler window and a 64-row batch ceiling.
+DEFAULT_WINDOW_MS = 2.0
+DEFAULT_MAX_ROWS = 64
+
+#: how long a request thread waits for its batch before giving up.
+_RESULT_TIMEOUT_S = 30.0
+
+
+def resolve_batch_window_s(window_ms: float | None = None) -> float:
+    """The batching window in seconds (``REPRO_PREDICT_BATCH_MS``)."""
+    if window_ms is None:
+        raw = os.environ.get("REPRO_PREDICT_BATCH_MS", "")
+        try:
+            window_ms = float(raw) if raw else DEFAULT_WINDOW_MS
+        except ValueError:
+            raise ValueError(
+                f"REPRO_PREDICT_BATCH_MS must be a number, got {raw!r}"
+            ) from None
+    if window_ms < 0:
+        raise ValueError(f"predict batch window must be >= 0, got {window_ms}")
+    return float(window_ms) / 1000.0
+
+
+def resolve_batch_rows(max_rows: int | None = None) -> int:
+    """The batch row ceiling (``REPRO_PREDICT_BATCH_ROWS``)."""
+    if max_rows is None:
+        raw = os.environ.get("REPRO_PREDICT_BATCH_ROWS", "")
+        try:
+            max_rows = int(raw) if raw else DEFAULT_MAX_ROWS
+        except ValueError:
+            raise ValueError(
+                f"REPRO_PREDICT_BATCH_ROWS must be an integer, got {raw!r}"
+            ) from None
+    if max_rows < 1:
+        raise ValueError(f"predict batch rows must be >= 1, got {max_rows}")
+    return int(max_rows)
+
+
+class _Item:
+    """One queued request: its state snapshot, body, and result slot."""
+
+    __slots__ = ("body", "done", "outcome", "state")
+
+    def __init__(self, state: object, body: object) -> None:
+        self.state = state
+        self.body = body
+        self.done = threading.Event()
+        self.outcome: object = None
+
+
+class PredictBatcher:
+    """Queue + daemon drainer coalescing concurrent predict requests."""
+
+    def __init__(
+        self,
+        run_batch: Callable[[object, list[object]], list[object]],
+        *,
+        window_s: float | None = None,
+        max_rows: int | None = None,
+        on_batch: Callable[[int], None] | None = None,
+    ) -> None:
+        self._run_batch = run_batch
+        self.window_s = (
+            resolve_batch_window_s() if window_s is None else float(window_s)
+        )
+        self.max_rows = resolve_batch_rows(max_rows)
+        self._on_batch = on_batch
+        self._cond = threading.Condition()
+        self._queue: list[_Item] = []
+        self._closed = False
+        # telemetry (guarded by the condition's lock)
+        self.batches = 0
+        self.rows = 0
+        self.coalesced_rows = 0
+        self.max_rows_seen = 0
+        self._worker = threading.Thread(
+            target=self._drain_forever, name="repro-predict-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- request side --------------------------------------------------------
+
+    def submit(self, state: object, body: object) -> object:
+        """Enqueue one parsed predict body; block until its batch ran.
+
+        Returns whatever the batch callback produced for this row —
+        the service treats an Exception instance as "raise it".
+        """
+        item = _Item(state, body)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("predict batcher is closed")
+            self._queue.append(item)
+            self._cond.notify_all()
+        if not item.done.wait(timeout=_RESULT_TIMEOUT_S):
+            return RuntimeError("predict batch timed out")
+        return item.outcome
+
+    # -- drain side ----------------------------------------------------------
+
+    def _take_batch(self) -> list[_Item] | None:
+        """Block for work; return the next batch (None when closing)."""
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if self._closed and not self._queue:
+                return None
+            if self.window_s > 0 and len(self._queue) < self.max_rows:
+                # A straggler window: give near-simultaneous arrivals a
+                # bounded chance to share this batch.  A full batch (or
+                # close()) ends the wait immediately.
+                deadline = time.monotonic() + self.window_s
+                while len(self._queue) < self.max_rows and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+            batch = self._queue[: self.max_rows]
+            del self._queue[: len(batch)]
+            size = len(batch)
+            self.batches += 1
+            self.rows += size
+            if size > 1:
+                self.coalesced_rows += size
+            self.max_rows_seen = max(self.max_rows_seen, size)
+            return batch
+
+    def _drain_forever(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Item]) -> None:
+        # Group by the exact state snapshot each request captured (a
+        # hot swap mid-batch must not mix model versions), preserving
+        # arrival order within each group.
+        groups: dict[int, tuple[object, list[_Item]]] = {}
+        for item in batch:
+            groups.setdefault(id(item.state), (item.state, []))[1].append(item)
+        for state, items in groups.values():
+            try:
+                results = self._run_batch(state, [item.body for item in items])
+            except Exception as error:  # surface, never kill the drainer
+                results = [error] * len(items)
+            if len(results) != len(items):  # defensive: misbehaving callback
+                results = [
+                    RuntimeError("predict batch returned a short result list")
+                ] * len(items)
+            for item, outcome in zip(items, results):
+                item.outcome = outcome
+                item.done.set()
+        if self._on_batch is not None:
+            try:
+                self._on_batch(len(batch))
+            except Exception:
+                pass  # telemetry must never break the request path
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot for ``/v1/metrics``."""
+        with self._cond:
+            return {
+                "window_ms": round(self.window_s * 1000.0, 3),
+                "max_rows": self.max_rows,
+                "batches": self.batches,
+                "rows": self.rows,
+                "coalesced_rows": self.coalesced_rows,
+                "max_rows_seen": self.max_rows_seen,
+            }
+
+    def close(self) -> None:
+        """Stop the drainer after the queue empties (idempotent)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._worker.is_alive():
+            self._worker.join(timeout=2.0)

@@ -1,0 +1,85 @@
+"""Opaque pagination cursors for the vendor/product id lists.
+
+A cursor encodes ``(artifact version, index position)`` so a client can
+walk a long id list without the server rescanning ``offset`` ids on
+every page — resolving a cursor is O(1) and slicing the page is
+O(page).  The token is deliberately opaque (URL-safe base64 over a
+versioned payload plus an integrity digest) so clients cannot build
+arithmetic on its insides, and deliberately *stable across workers*:
+the digest is keyed on a fixed salt, not a per-process secret, because
+under ``serve --workers N`` the next page routinely lands on a
+different worker than the one that minted the token.
+
+The digest is tamper *detection*, not authentication — a mangled or
+truncated cursor fails with a self-describing 400 instead of silently
+paging from a garbage offset.  Version pinning is the important
+contract: a cursor minted against version ``vNNNN`` names that version,
+and after a hot swap the serving layer rejects it with a 400 that tells
+the client to restart pagination (the id lists it was walking may have
+shifted arbitrarily in the new version).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+
+__all__ = ["CursorError", "decode_cursor", "encode_cursor"]
+
+#: cursor format tag; bump when the payload shape changes.
+_PREFIX = "c1"
+_SALT = b"repro-pagination-cursor/1"
+_DIGEST_CHARS = 12
+
+
+class CursorError(ValueError):
+    """An unusable cursor token; ``message`` is client-safe."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(_SALT + payload.encode("utf-8")).hexdigest()[
+        :_DIGEST_CHARS
+    ]
+
+
+def encode_cursor(version: str, position: int) -> str:
+    """The opaque token naming ``position`` in ``version``'s id lists."""
+    if position < 0:
+        raise ValueError(f"cursor position must be >= 0, got {position}")
+    payload = f"{_PREFIX}:{version}:{position}"
+    token = f"{payload}:{_digest(payload)}".encode("utf-8")
+    return base64.urlsafe_b64encode(token).decode("ascii").rstrip("=")
+
+
+def decode_cursor(token: str) -> tuple[str, int]:
+    """``(version, position)`` out of a token; :class:`CursorError` on
+    anything that is not a verbatim product of :func:`encode_cursor`."""
+    if not token:
+        raise CursorError("cursor is empty")
+    padded = token + "=" * (-len(token) % 4)
+    try:
+        raw = base64.urlsafe_b64decode(padded.encode("ascii")).decode("utf-8")
+    except (binascii.Error, UnicodeError, ValueError):
+        raise CursorError("cursor is not decodable (not a token this "
+                          "service minted)") from None
+    parts = raw.split(":")
+    if len(parts) != 4 or parts[0] != _PREFIX:
+        raise CursorError("cursor has an unknown format")
+    _, version, position_raw, digest = parts
+    payload = f"{_PREFIX}:{version}:{position_raw}"
+    if _digest(payload) != digest:
+        raise CursorError(
+            "cursor failed its integrity check (tampered with or truncated)"
+        )
+    try:
+        position = int(position_raw)
+    except ValueError:
+        raise CursorError("cursor position is not an integer") from None
+    if position < 0 or not version:
+        raise CursorError("cursor payload is out of range")
+    return version, position

@@ -36,6 +36,23 @@ The vendor and product views page their id lists: ``?offset=N`` and
 ``?limit=N`` (1..500, default 500) select a window, ``next_offset`` in
 the response names the next page (``null`` when the list is done), and
 ``n_cves`` always carries the full count — nothing truncates silently.
+Each page also carries ``next_cursor``, an opaque token encoding
+``(version, position)``; following it (``?cursor=...``) resolves the
+next page in O(page) and pins the walk to one artifact version — after
+a hot swap a stale cursor fails with a self-describing 400 instead of
+silently paging a reshuffled list (see :mod:`repro.service.cursor`).
+
+Scale-out: with ``shared_cache`` the private per-worker LRU is replaced
+by one :class:`repro.service.shared_cache.SharedResponseCache` segment
+every ``SO_REUSEPORT`` worker attaches to — a response cached by any
+worker is a hit for all of them, and a hot swap in any worker
+invalidates the segment for every worker at once (epoch bump).
+Concurrent ``POST /v1/severity/predict`` requests coalesce through a
+:class:`repro.service.batching.PredictBatcher` into one scoring pass
+per artifact-state snapshot — bit-identical to unbatched requests —
+bounded by a small straggler window (``REPRO_PREDICT_BATCH_MS``,
+default 2 ms) and a row ceiling (``REPRO_PREDICT_BATCH_ROWS``, default
+64); no other endpoint crosses the batcher.
 
 Hot swap: at most once per ``reload_interval`` seconds the service
 re-reads the store's ``CURRENT`` pointer; when it names a different
@@ -90,6 +107,9 @@ from repro.obs import (
 )
 from repro.obs.trace import process_name_event, trace_target
 from repro.runtime import resolve_workers
+from repro.service.batching import PredictBatcher
+from repro.service.cursor import CursorError, decode_cursor
+from repro.service.shared_cache import SharedResponseCache
 from repro.service.state import MAX_IDS, ServiceError, ServiceState
 
 __all__ = ["ApiHandler", "NvdService", "ServiceResponse", "create_server", "serve"]
@@ -104,7 +124,10 @@ _CACHEABLE_PREFIXES = ("/v1/stats", "/v1/cve/", "/v1/vendor/", "/v1/product/")
 
 #: query parameters any route consumes — the only ones that can change
 #: a response, and therefore the only ones allowed into cache keys.
-_QUERY_PARAMS = frozenset({"offset", "limit"})
+_QUERY_PARAMS = frozenset({"offset", "limit", "cursor"})
+
+#: fixed buckets for the predict batch-size histogram (rows per batch).
+PREDICT_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 #: fixed latency-histogram boundaries (seconds).  Declared, never
 #: derived from traffic, so exposition output is deterministic.
@@ -223,6 +246,9 @@ class NvdService:
         breaker_cooldown: float = 5.0,
         access_log: str | os.PathLike[str] | None = None,
         trace_path: str | os.PathLike[str] | None = None,
+        shared_cache: "SharedResponseCache | str | bool | None" = None,
+        predict_batch_ms: float | None = None,
+        predict_batch_rows: int | None = None,
     ) -> None:
         self.root = pathlib.Path(root)
         #: a pinned server never hot-swaps (explicit --version).
@@ -231,7 +257,9 @@ class NvdService:
         self.breaker_threshold = max(1, int(breaker_threshold))
         self.breaker_cooldown = float(breaker_cooldown)
         self._state = ServiceState.load(self.root, version)
-        self._cache = ResponseCache(cache_size)
+        self._cache, self._cache_lifecycle = self._build_cache(
+            cache_size, shared_cache
+        )
         self._counters: collections.Counter[str] = collections.Counter()
         self._counter_lock = threading.Lock()
         self._swap_lock = threading.Lock()
@@ -241,8 +269,19 @@ class NvdService:
         #: consecutive reload failures; >= threshold trips the breaker.
         self._breaker_failures = 0
         self._breaker_open_until: float | None = None
-        self._supervisor_cache: tuple[int, dict | None] | None = None
+        self._supervisor_cache: tuple[tuple[int, int], dict | None] | None = None
         self.registry = self._build_registry()
+        #: baseline for delta-syncing the shared cache's cumulative
+        #: counters into the (monotonic) registry counters at render.
+        self._shared_synced = {"stores": 0, "evictions": 0}
+        self._batcher = PredictBatcher(
+            self._run_predict_batch,
+            window_s=(
+                None if predict_batch_ms is None else predict_batch_ms / 1000.0
+            ),
+            max_rows=predict_batch_rows,
+            on_batch=self._observe_batch,
+        )
         self._access_log = AccessLog(access_log) if access_log else None
         self._trace: TraceWriter | None = None
         if trace_path:
@@ -250,6 +289,42 @@ class NvdService:
             self._trace.add_event(
                 process_name_event(os.getpid(), f"{SERVICE_NAME} (pid {os.getpid()})")
             )
+
+    @staticmethod
+    def _build_cache(
+        cache_size: int,
+        shared_cache: "SharedResponseCache | str | bool | None",
+    ) -> tuple["ResponseCache | SharedResponseCache", str]:
+        """The response cache plus what :meth:`close` owes it.
+
+        ``shared_cache`` selects the backend: falsy → a private LRU;
+        ``True`` → create (and own) a fresh segment; a segment name →
+        attach to a supervisor-owned segment; an instance → use it
+        as-is (the caller keeps custody).  The second element is the
+        lifecycle duty: ``"none"``, ``"close"`` (detach our mapping) or
+        ``"unlink"`` (destroy the segment we created).
+        """
+        if isinstance(shared_cache, SharedResponseCache):
+            return shared_cache, "none"
+        if isinstance(shared_cache, str):
+            return SharedResponseCache.attach(shared_cache), "close"
+        if shared_cache:
+            return SharedResponseCache.create(), "unlink"
+        return ResponseCache(cache_size), "none"
+
+    def _run_predict_batch(
+        self, state: object, bodies: list[object]
+    ) -> list[object]:
+        """The batcher's executor: one scoring pass on ``state``."""
+        assert isinstance(state, ServiceState)
+        return list(state.predict_payloads(bodies))
+
+    def _observe_batch(self, size: int) -> None:
+        """Per-batch telemetry, called from the batcher's drainer."""
+        self._prom_batch_rows.observe(size)
+        self._prom_batches.inc()
+        if size > 1:
+            self._prom_batch_coalesced.inc(size)
 
     def _build_registry(self) -> MetricsRegistry:
         """Declare every service metric once, with fixed buckets."""
@@ -311,11 +386,73 @@ class NvdService:
             "repro_supervisor_restarts",
             "Worker restarts performed by the supervisor.",
         )
+        self._g_shared_slots = registry.gauge(
+            "repro_http_cache_shared_slots",
+            "Slots in the shared response-cache segment (0 = private cache).",
+        )
+        self._g_shared_occupied = registry.gauge(
+            "repro_http_cache_shared_occupied",
+            "Occupied slots in the shared response-cache segment.",
+        )
+        self._g_shared_used_bytes = registry.gauge(
+            "repro_http_cache_shared_used_bytes",
+            "Payload bytes stored in the shared response-cache segment.",
+        )
+        self._g_shared_segment_bytes = registry.gauge(
+            "repro_http_cache_shared_segment_bytes",
+            "Total size of the shared response-cache segment in bytes.",
+        )
+        self._prom_shared_stores = registry.counter(
+            "repro_http_cache_shared_stores_total",
+            "Entries this worker wrote into the shared cache segment.",
+        )
+        self._prom_shared_evictions = registry.counter(
+            "repro_http_cache_shared_evictions_total",
+            "Shared-cache slot evictions (direct-mapped collisions) by this worker.",
+        )
+        self._prom_batches = registry.counter(
+            "repro_predict_batch_total",
+            "Batched predict forward passes executed.",
+        )
+        self._prom_batch_coalesced = registry.counter(
+            "repro_predict_batch_coalesced_total",
+            "Predict rows that shared a batch with at least one other request.",
+        )
+        self._prom_batch_rows = registry.histogram(
+            "repro_predict_batch_rows",
+            "Rows per batched predict forward pass.",
+            PREDICT_BATCH_BUCKETS,
+        )
+        self._g_batch_window = registry.gauge(
+            "repro_predict_batch_window_ms",
+            "Configured predict micro-batching straggler window in milliseconds.",
+        )
+        # Materialise the unlabelled series now so every family renders
+        # samples from the first scrape (an untouched series renders
+        # only HELP/TYPE, which reads as a vanished metric downstream).
+        for metric in (
+            self._prom_shared_stores,
+            self._prom_shared_evictions,
+            self._prom_batches,
+            self._prom_batch_coalesced,
+            self._prom_batch_rows,
+            self._g_shared_slots,
+            self._g_shared_occupied,
+            self._g_shared_used_bytes,
+            self._g_shared_segment_bytes,
+            self._g_batch_window,
+        ):
+            metric.labels()
         self._info_series = None
         return registry
 
     def close(self) -> None:
-        """Release the access log and trace writer (idempotent)."""
+        """Release the batcher, cache, access log and trace writer."""
+        self._batcher.close()
+        if self._cache_lifecycle == "unlink":
+            self._cache.unlink()  # type: ignore[union-attr]
+        elif self._cache_lifecycle == "close":
+            self._cache.close()  # type: ignore[union-attr]
         if self._access_log is not None:
             self._access_log.close()
         if self._trace is not None:
@@ -352,15 +489,20 @@ class NvdService:
     def supervisor_status(self) -> dict | None:
         """The supervisor's status drop-box, if one is running.
 
-        Cached by file mtime so the per-request cost is one ``stat``.
+        Cached on the file's ``(st_mtime_ns, st_size)`` so the
+        per-request cost is one ``stat``.  Size joins the key because
+        coarse filesystem timestamps can leave ``mtime_ns`` unchanged
+        across a rewrite within one clock tick — mtime alone served the
+        pre-rewrite status until something else touched the file.
         """
         path = self.root / SUPERVISOR_STATUS
         try:
-            mtime = path.stat().st_mtime_ns
+            stat = path.stat()
+            stamp = (stat.st_mtime_ns, stat.st_size)
         except OSError:
             return None
         cached = self._supervisor_cache
-        if cached is not None and cached[0] == mtime:
+        if cached is not None and cached[0] == stamp:
             return cached[1]
         try:
             status = json.loads(path.read_text(encoding="utf-8"))
@@ -368,7 +510,7 @@ class NvdService:
             return None
         if not isinstance(status, dict):
             status = None
-        self._supervisor_cache = (mtime, status)
+        self._supervisor_cache = (stamp, status)
         return status
 
     def maybe_reload(self) -> bool:
@@ -609,11 +751,11 @@ class NvdService:
             if len(parts) == 3 and parts[:2] == ["v1", "cve"]:
                 return 200, state.cve_payload(parts[2])
             if len(parts) == 3 and parts[:2] == ["v1", "vendor"]:
-                offset = _int_param(params, "offset", 0, minimum=0)
+                offset = self._resolve_page_start(state, params)
                 limit = _int_param(params, "limit", MAX_IDS, minimum=1, maximum=MAX_IDS)
                 return 200, state.vendor_payload(parts[2], offset=offset, limit=limit)
             if len(parts) == 4 and parts[:2] == ["v1", "product"]:
-                offset = _int_param(params, "offset", 0, minimum=0)
+                offset = self._resolve_page_start(state, params)
                 limit = _int_param(params, "limit", MAX_IDS, minimum=1, maximum=MAX_IDS)
                 return 200, state.product_payload(
                     parts[2], parts[3], offset=offset, limit=limit
@@ -625,18 +767,86 @@ class NvdService:
                 parsed = json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
                 raise ServiceError(400, f"bad JSON body: {error}") from None
-            return 200, state.predict_payload(parsed)
+            outcome = self._batcher.submit(state, parsed)
+            if isinstance(outcome, Exception):
+                raise outcome  # ServiceError → 4xx; anything else → 500
+            return 200, outcome
         raise ServiceError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _resolve_page_start(
+        state: ServiceState, params: dict[str, list[str]]
+    ) -> int:
+        """The starting index for a paged id list.
+
+        ``?cursor=`` wins when present (and conflicts with an explicit
+        ``?offset=`` — ambiguous intent is a 400, not a guess).  A
+        cursor must both verify and name the *currently served* artifact
+        version; one minted before a hot swap fails with a 400 telling
+        the client to restart pagination.
+        """
+        cursors = params.get("cursor")
+        if not cursors:
+            return _int_param(params, "offset", 0, minimum=0)
+        if params.get("offset"):
+            raise ServiceError(
+                400,
+                "query parameters 'cursor' and 'offset' are mutually "
+                "exclusive; follow next_cursor or page manually, not both",
+            )
+        try:
+            version, position = decode_cursor(cursors[-1])
+        except CursorError as error:
+            raise ServiceError(400, f"bad cursor: {error.message}") from None
+        if version != state.version:
+            raise ServiceError(
+                400,
+                f"cursor was minted for artifact version {version!r} but "
+                f"this service now serves {state.version!r}; restart "
+                "pagination from the first page",
+            )
+        return position
+
+    def cache_stats(self) -> dict:
+        """Cache effectiveness for this worker, any backend.
+
+        ``hits``/``misses`` come from this worker's request counters
+        (the shared segment keeps no global counters — cross-worker
+        totals are the sum of each worker's block, which is how the
+        bench sweep aggregates them).  ``hit_ratio`` is ``null`` until
+        the first cacheable lookup.
+        """
+        with self._counter_lock:
+            hits = self._counters.get("cache_hits", 0)
+            misses = self._counters.get("cache_misses", 0)
+        lookups = hits + misses
+        stats: dict = {
+            "backend": (
+                "shared"
+                if isinstance(self._cache, SharedResponseCache)
+                else "private"
+            ),
+            "entries": len(self._cache),
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": round(hits / lookups, 4) if lookups else None,
+        }
+        if isinstance(self._cache, SharedResponseCache):
+            stats["shared"] = self._cache.stats()
+        return stats
 
     def metrics_payload(self) -> dict:
         with self._counter_lock:
             counters = dict(self._counters)
         payload = {
             "service": SERVICE_NAME,
+            "pid": os.getpid(),
             "version": self._state.version,
             "model": self._state.model_used,
             "uptime_s": round(time.time() - self._started, 3),
             "cache_entries": len(self._cache),
+            "cache": self.cache_stats(),
+            "predict_batching": self._batcher.stats(),
             "swaps": self.swaps,
             "counters": counters,
             "degraded": self.degraded,
@@ -674,6 +884,23 @@ class NvdService:
         if supervisor is not None:
             self._g_sup_alive.set(supervisor.get("alive", 0))
             self._g_sup_restarts.set(supervisor.get("restarts", 0))
+        self._g_batch_window.set(round(self._batcher.window_s * 1000.0, 3))
+        if isinstance(self._cache, SharedResponseCache):
+            shared = self._cache.stats()
+            self._g_shared_slots.set(shared["slots"])
+            self._g_shared_occupied.set(shared["occupied"])
+            self._g_shared_used_bytes.set(shared["used_bytes"])
+            self._g_shared_segment_bytes.set(shared["segment_bytes"])
+            # The segment object keeps cumulative per-process counts;
+            # registry counters are monotonic, so sync by delta.
+            for name, counter in (
+                ("stores", self._prom_shared_stores),
+                ("evictions", self._prom_shared_evictions),
+            ):
+                delta = shared[name] - self._shared_synced[name]
+                if delta > 0:
+                    counter.inc(delta)
+                    self._shared_synced[name] = shared[name]
         return render_prometheus(self.registry, registry_from_perf(perf.get_recorder()))
 
 
@@ -751,6 +978,9 @@ def create_server(
     breaker_cooldown: float = 5.0,
     access_log: str | os.PathLike[str] | None = None,
     trace_path: str | os.PathLike[str] | None = None,
+    shared_cache: "SharedResponseCache | str | bool | None" = None,
+    predict_batch_ms: float | None = None,
+    predict_batch_rows: int | None = None,
 ) -> _ServiceServer:
     """Cold-start a server from an artifact store (no retraining).
 
@@ -758,8 +988,11 @@ def create_server(
     call ``serve_forever()`` to run.  ``reuse_port=True`` binds with
     ``SO_REUSEPORT`` so several server processes can share one port —
     the kernel load-balances incoming connections across them (the
-    multi-process serving path).  ``access_log`` appends one JSONL line
-    per request; ``trace_path`` streams one Chrome trace-event span per
+    multi-process serving path).  ``shared_cache`` selects the
+    cross-worker response cache: a segment name attaches (the
+    supervisor path), ``True`` creates and owns a fresh segment, falsy
+    keeps the private LRU.  ``access_log`` appends one JSONL line per
+    request; ``trace_path`` streams one Chrome trace-event span per
     request (both closed with the server).
     """
     service = NvdService(
@@ -771,6 +1004,9 @@ def create_server(
         breaker_cooldown=breaker_cooldown,
         access_log=access_log,
         trace_path=trace_path,
+        shared_cache=shared_cache,
+        predict_batch_ms=predict_batch_ms,
+        predict_batch_rows=predict_batch_rows,
     )
     return _ServiceServer((host, port), service, reuse_port=reuse_port)
 
@@ -785,6 +1021,7 @@ def serve(
     workers: int | None = None,
     access_log: str | os.PathLike[str] | None = None,
     trace_path: str | os.PathLike[str] | None = None,
+    shared_cache: bool = False,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` command).
 
@@ -800,6 +1037,12 @@ def serve(
     ``trace_path`` (default: ``REPRO_TRACE``) streams per-request
     spans; supervised workers each write ``<path>.w<index>`` since a
     JSON array cannot be safely interleaved by several processes.
+
+    ``shared_cache`` (``--shared-cache`` / ``REPRO_SHARED_CACHE=1``)
+    replaces the per-worker response LRU with one shared-memory
+    segment: under the supervisor every worker attaches to the
+    supervisor-owned segment; single-process serving creates and owns
+    its own.
     """
     trace_path = trace_path or trace_target()
     count = resolve_workers(workers)
@@ -815,6 +1058,7 @@ def serve(
             reload_interval=reload_interval,
             access_log=access_log,
             trace_path=trace_path,
+            shared_cache=shared_cache,
         ).run()
     server = create_server(
         root,
@@ -824,6 +1068,7 @@ def serve(
         reload_interval=reload_interval,
         access_log=access_log,
         trace_path=trace_path,
+        shared_cache=shared_cache,
     )
     bound_host, bound_port = server.server_address[:2]
     state = server.service.state

@@ -1,0 +1,334 @@
+"""A cross-worker response cache in one shared-memory segment.
+
+``serve --workers N`` fans N ``SO_REUSEPORT`` processes over the store,
+and until this module each of them kept a private
+:class:`~repro.service.http.ResponseCache` — N cold caches holding N
+copies of the same hot responses, each warming only from the fraction
+of the trace the kernel happened to route its way.
+:class:`SharedResponseCache` replaces them with one
+``multiprocessing.shared_memory`` segment every worker attaches to: a
+response cached by any worker is a hit for all of them.
+
+Layout (all integers little-endian, offsets fixed)::
+
+    header (64 B): magic | slot_count u32 | slot_size u32 | epoch u64
+    slot   (slot_size B, repeated slot_count times):
+        seq u32 | epoch u32 | key_hash u64 | status u16 | key_len u16
+        | body_len u32 | crc u32 | pad to 32 | key bytes | body bytes
+
+The cache is **direct-mapped**: a key's slot is
+``blake2b(key) % slot_count`` (a keyed *stable* hash — ``hash()`` is
+salted per process and would send each worker to a different slot).
+Storing into an occupied slot with a different key is the eviction
+policy; there are no chains and no LRU bookkeeping to synchronise.
+
+Concurrency is a seqlock plus a checksum, chosen because Python offers
+no cross-process atomics over an mmap:
+
+- a **writer** bumps the slot's ``seq`` to an odd value, writes the
+  entry and its CRC-32, then bumps ``seq`` to the next even value;
+- a **reader** snapshots ``seq`` (odd → in-progress → miss), copies the
+  entry, re-reads ``seq`` (moved → torn → one retry), and finally
+  verifies the key bytes and the CRC.
+
+Two writers racing on one slot can interleave (there is no writer
+lock across processes) — the CRC turns that worst case into a wasted
+slot, never a wrong response.  Within one process writers serialise on
+an ordinary lock.
+
+Invalidation is **epoch-based**: cache keys embed the artifact version
+(so a stale entry can never answer for a new version), and
+:meth:`clear` — called by whichever worker hot-swaps first — bumps the
+segment-header epoch, orphaning every slot at once for *every* worker.
+Readers require the slot epoch to match the header; writers stamp the
+epoch they saw, so a write racing a clear stays invisible.
+
+Lifecycle: the segment owner (the serve supervisor, or a
+single-process server that created its own) calls :meth:`unlink`;
+attached workers only :meth:`close`.  Attaching immediately
+unregisters the segment from the process's ``resource_tracker`` —
+on 3.11 an attach registers exactly like a create, and a worker exit
+would otherwise tear the segment down under its siblings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+import struct
+import threading
+import zlib
+from multiprocessing import resource_tracker, shared_memory
+
+__all__ = ["SharedCacheError", "SharedResponseCache"]
+
+_MAGIC = b"RPRSHMC1"
+_HEADER = struct.Struct("<8sIIQ")  # magic, slot_count, slot_size, epoch
+_HEADER_SIZE = 64
+_EPOCH_OFFSET = _HEADER.size - 8
+#: seq, epoch, key_hash, status, key_len, body_len, crc
+_SLOT = struct.Struct("<IIQHHII")
+_SLOT_HEADER_SIZE = 32
+
+DEFAULT_SLOTS = 1024
+DEFAULT_SLOT_BYTES = 16384
+
+
+class SharedCacheError(RuntimeError):
+    """Segment creation/attachment failed or the segment is foreign."""
+
+
+def _stable_hash(key: bytes) -> int:
+    """A process-independent 64-bit key hash (``hash()`` is salted)."""
+    return int.from_bytes(
+        hashlib.blake2b(key, digest_size=8).digest(), "little"
+    )
+
+
+class SharedResponseCache:
+    """Slotted response cache over one shared-memory segment.
+
+    Drop-in for :class:`repro.service.http.ResponseCache` — ``get`` /
+    ``put`` / ``clear`` / ``len()`` — plus :meth:`stats` for the
+    telemetry plane.  Construct via :meth:`create` (the owner) or
+    :meth:`attach` (everyone else).
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.owner = owner
+        self._lock = threading.Lock()  # serialises writers in this process
+        magic, slot_count, slot_size, _ = _HEADER.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            shm.close()
+            raise SharedCacheError(
+                f"segment {shm.name!r} is not a repro shared cache "
+                f"(bad magic {magic!r})"
+            )
+        self.slots = int(slot_count)
+        self.slot_bytes = int(slot_size)
+        self.capacity = self.slot_bytes - _SLOT_HEADER_SIZE
+        #: local (per-process) counters; cross-worker totals come from
+        #: summing each worker's /v1/metrics.
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.too_large = 0
+        self.torn_reads = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        slots: int = DEFAULT_SLOTS,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        name: str | None = None,
+    ) -> "SharedResponseCache":
+        """Create (and own) a fresh zeroed segment."""
+        slots = max(1, int(slots))
+        slot_bytes = int(slot_bytes)
+        if slot_bytes <= _SLOT_HEADER_SIZE:
+            raise SharedCacheError(
+                f"slot_bytes must exceed the {_SLOT_HEADER_SIZE}-byte slot "
+                f"header, got {slot_bytes}"
+            )
+        size = _HEADER_SIZE + slots * slot_bytes
+        if name is None:
+            name = f"repro-cache-{secrets.token_hex(6)}"
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        except OSError as error:
+            raise SharedCacheError(
+                f"cannot create shared cache segment {name!r}: {error}"
+            ) from error
+        shm.buf[:_HEADER_SIZE] = bytes(_HEADER_SIZE)
+        _HEADER.pack_into(shm.buf, 0, _MAGIC, slots, slot_bytes, 0)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedResponseCache":
+        """Attach to a segment some other process created."""
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=False)
+        except (OSError, ValueError) as error:
+            raise SharedCacheError(
+                f"cannot attach shared cache segment {name!r}: {error}"
+            ) from error
+        # On CPython <= 3.12 an attach registers with the resource
+        # tracker exactly like a create; when this worker exits, the
+        # tracker would unlink the segment its siblings still use.
+        try:  # pragma: no cover - tracker internals differ per platform
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # -- the slotted protocol ------------------------------------------------
+
+    def _slot_offset(self, key_hash: int) -> int:
+        return _HEADER_SIZE + (key_hash % self.slots) * self.slot_bytes
+
+    @property
+    def epoch(self) -> int:
+        return struct.unpack_from("<Q", self._shm.buf, _EPOCH_OFFSET)[0]
+
+    def get(self, key: str) -> tuple[int, bytes] | None:
+        key_bytes = key.encode("utf-8")
+        key_hash = _stable_hash(key_bytes)
+        offset = self._slot_offset(key_hash)
+        buf = self._shm.buf
+        epoch_now = self.epoch & 0xFFFFFFFF
+        for _ in range(2):
+            seq1, slot_epoch, stored_hash, status, key_len, body_len, crc = (
+                _SLOT.unpack_from(buf, offset)
+            )
+            if seq1 & 1:
+                break  # a writer is mid-flight; treat as a miss
+            if (
+                slot_epoch != epoch_now
+                or stored_hash != key_hash
+                or body_len == 0
+                or key_len + body_len > self.capacity
+            ):
+                break
+            start = offset + _SLOT_HEADER_SIZE
+            payload = bytes(buf[start : start + key_len + body_len])
+            seq2 = struct.unpack_from("<I", buf, offset)[0]
+            if seq2 != seq1:
+                self.torn_reads += 1
+                continue  # torn by a concurrent writer; one retry
+            if (
+                payload[:key_len] == key_bytes
+                and zlib.crc32(payload) == crc
+            ):
+                self.hits += 1
+                return status, payload[key_len:]
+            break
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: tuple[int, bytes]) -> None:
+        status, body = value
+        key_bytes = key.encode("utf-8")
+        if len(key_bytes) + len(body) > self.capacity:
+            self.too_large += 1
+            return
+        key_hash = _stable_hash(key_bytes)
+        offset = self._slot_offset(key_hash)
+        payload = key_bytes + body
+        crc = zlib.crc32(payload)
+        buf = self._shm.buf
+        epoch_now = self.epoch & 0xFFFFFFFF
+        with self._lock:
+            seq1, slot_epoch, stored_hash, _, _, old_body_len, _ = (
+                _SLOT.unpack_from(buf, offset)
+            )
+            if (
+                old_body_len
+                and slot_epoch == epoch_now
+                and stored_hash != key_hash
+            ):
+                self.evictions += 1
+            writing = ((seq1 + 1) | 1) & 0xFFFFFFFF
+            struct.pack_into("<I", buf, offset, writing)
+            _SLOT.pack_into(
+                buf,
+                offset,
+                writing,
+                epoch_now,
+                key_hash,
+                status & 0xFFFF,
+                len(key_bytes),
+                len(body),
+                crc,
+            )
+            start = offset + _SLOT_HEADER_SIZE
+            buf[start : start + len(payload)] = payload
+            struct.pack_into("<I", buf, offset, (writing + 1) & 0xFFFFFFFF)
+            self.stores += 1
+
+    def clear(self) -> None:
+        """Invalidate every slot for every worker (one epoch bump)."""
+        with self._lock:
+            epoch = struct.unpack_from("<Q", self._shm.buf, _EPOCH_OFFSET)[0]
+            struct.pack_into(
+                "<Q", self._shm.buf, _EPOCH_OFFSET, (epoch + 1) & (2**64 - 1)
+            )
+
+    def _scan(self) -> tuple[int, int]:
+        """(occupied slots, used payload bytes) for the current epoch."""
+        buf = self._shm.buf
+        epoch_now = self.epoch & 0xFFFFFFFF
+        occupied = 0
+        used = 0
+        for index in range(self.slots):
+            offset = _HEADER_SIZE + index * self.slot_bytes
+            seq, slot_epoch, _, _, key_len, body_len, _ = _SLOT.unpack_from(
+                buf, offset
+            )
+            if seq & 1 or slot_epoch != epoch_now or body_len == 0:
+                continue
+            occupied += 1
+            used += key_len + body_len
+        return occupied, used
+
+    def __len__(self) -> int:
+        return self._scan()[0]
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot for ``/v1/metrics`` and ``/metrics``."""
+        occupied, used = self._scan()
+        return {
+            "backend": "shared",
+            "segment": self.name,
+            "slots": self.slots,
+            "slot_bytes": self.slot_bytes,
+            "segment_bytes": _HEADER_SIZE + self.slots * self.slot_bytes,
+            "occupied": occupied,
+            "used_bytes": used,
+            "epoch": self.epoch,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "too_large": self.too_large,
+            "torn_reads": self.torn_reads,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach this process's mapping (idempotent)."""
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform quirk
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; idempotent)."""
+        self.close()
+        try:  # pragma: no cover - tracker internals differ per platform
+            # Re-register before unlinking: the tracker's cache is a
+            # name-keyed set shared by every handle in this process, so
+            # an attach() in the same process (tests do this) already
+            # unregistered the name and the unregister inside
+            # SharedMemory.unlink would log a spurious KeyError.
+            resource_tracker.register(self._shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except OSError:
+            pass

@@ -31,23 +31,28 @@ from repro.cvss import (
 from repro.cwe import extract_cwe_ids
 from repro.nvd import CveEntry
 from repro.runtime import SerialExecutor
+from repro.service.cursor import encode_cursor
 
 __all__ = ["ServiceError", "ServiceState"]
 
 #: cap on one page of ids in vendor/product payloads (keeps responses
-#: bounded at paper scale); ``offset``/``limit`` query parameters page
-#: through the rest, with ``next_offset`` naming the next page.
+#: bounded at paper scale); ``offset``/``limit``/``cursor`` query
+#: parameters page through the rest, with ``next_offset`` and the
+#: opaque ``next_cursor`` naming the next page.
 MAX_IDS = 500
 
 
-def _page(ids: list[str], offset: int, limit: int) -> dict:
+
+def _page(ids: list[str], offset: int, limit: int, version: str) -> dict:
     """The shared pagination fields over a full id list.
 
     ``truncated`` is kept for pre-pagination clients; it now means
     "this response does not carry the whole list" — true on *any*
     partial window (including the final page of an ``offset`` walk),
     and never a silent cut, since ``next_offset`` says where the rest
-    starts.
+    starts.  ``next_cursor`` carries the same continuation as an opaque
+    ``(version, position)`` token — resolving it later is O(1) instead
+    of an O(offset) rescan, and it fails loudly after a hot swap.
     """
     page = ids[offset : offset + limit]
     next_offset = offset + limit if offset + limit < len(ids) else None
@@ -57,6 +62,11 @@ def _page(ids: list[str], offset: int, limit: int) -> dict:
         "offset": offset,
         "limit": limit,
         "next_offset": next_offset,
+        "next_cursor": (
+            encode_cursor(version, next_offset)
+            if next_offset is not None
+            else None
+        ),
         "truncated": len(page) < len(ids),
     }
 
@@ -88,6 +98,15 @@ class ServiceState:
             self.vendor_aliases.setdefault(canonical, []).append(alias)
         for aliases in self.vendor_aliases.values():
             aliases.sort()
+        # Per-name id-list memos: the first page of a vendor/product
+        # walk materialises the ordered id list (and the vendor's
+        # product set) once; every later page — cursor or offset — is
+        # a pure O(page) slice.  Keyed per immutable state, so a hot
+        # swap drops them with the state object.  Plain dict writes
+        # are atomic under the GIL and rebuilds are idempotent, so no
+        # lock is needed.
+        self._vendor_pages: dict[str, tuple[list[str], list[str]]] = {}
+        self._product_pages: dict[tuple[str, str], list[str]] = {}
 
     @classmethod
     def load(
@@ -146,13 +165,15 @@ class ServiceState:
             payload["v3_backported"] = not entry.has_v3
         return payload
 
-    def vendor_payload(
-        self, name: str, offset: int = 0, limit: int = MAX_IDS
-    ) -> dict:
-        canonical = self.artifacts.vendor_map.get(name, name)
+    def _vendor_lists(self, canonical: str) -> tuple[list[str], list[str]]:
+        """(ordered cve ids, sorted products) for a canonical vendor —
+        built once per state, O(page) on every later request."""
+        cached = self._vendor_pages.get(canonical)
+        if cached is not None:
+            return cached
         entries = self.snapshot.by_vendor(canonical)
         if not entries:
-            raise ServiceError(404, f"unknown vendor {name!r}")
+            return [], []
         ids = [entry.cve_id for entry in entries]
         products = sorted(
             {
@@ -162,11 +183,34 @@ class ServiceState:
                 if vendor == canonical
             }
         )
+        self._vendor_pages[canonical] = (ids, products)
+        return ids, products
+
+    def _product_ids(self, pair: tuple[str, str]) -> list[str]:
+        """Ordered cve ids for a canonical (vendor, product) pair."""
+        cached = self._product_pages.get(pair)
+        if cached is not None:
+            return cached
+        ids = [
+            entry.cve_id
+            for entry in self.snapshot.by_product(pair[1])
+            if pair in entry.vendor_products()
+        ]
+        self._product_pages[pair] = ids
+        return ids
+
+    def vendor_payload(
+        self, name: str, offset: int = 0, limit: int = MAX_IDS
+    ) -> dict:
+        canonical = self.artifacts.vendor_map.get(name, name)
+        ids, products = self._vendor_lists(canonical)
+        if not ids:
+            raise ServiceError(404, f"unknown vendor {name!r}")
         return {
             "vendor": canonical,
             "queried": name,
             "aliases": self.vendor_aliases.get(canonical, []),
-            **_page(ids, offset, limit),
+            **_page(ids, offset, limit, self.version),
             "products": products,
         }
 
@@ -178,28 +222,23 @@ class ServiceState:
             (canonical_vendor, product), product
         )
         pair = (canonical_vendor, canonical_product)
-        entries = [
-            entry
-            for entry in self.snapshot.by_product(canonical_product)
-            if pair in entry.vendor_products()
-        ]
-        if not entries:
+        ids = self._product_ids(pair)
+        if not ids:
             raise ServiceError(404, f"unknown product {vendor!r}/{product!r}")
-        ids = [entry.cve_id for entry in entries]
         return {
             "vendor": canonical_vendor,
             "product": canonical_product,
             "queried": [vendor, product],
-            **_page(ids, offset, limit),
+            **_page(ids, offset, limit, self.version),
         }
 
-    def predict_payload(self, body: object) -> dict:
-        """§4.3 severity prediction for a posted vulnerability.
+    @staticmethod
+    def _parse_predict_body(body: object) -> CveEntry:
+        """A feature-bearing entry out of one posted predict body.
 
-        The body must carry a CVSS v2 vector (the features the
-        persisted models consume); an optional ``description`` feeds
-        the §4.4 ``CWE-[0-9]*`` regex to supply the CWE feature when
-        ``cwe_ids`` is not given explicitly.
+        Raises :class:`ServiceError` 400 on every malformed shape —
+        per body, so one bad request in a micro-batch never poisons
+        its neighbours.
         """
         if not isinstance(body, dict):
             raise ServiceError(400, "request body must be a JSON object")
@@ -220,26 +259,97 @@ class ServiceState:
             isinstance(label, str) for label in cwe_ids
         ):
             raise ServiceError(400, "field 'cwe_ids' must be a list of strings")
-        entry = CveEntry(
+        return CveEntry(
             cve_id="CVE-1970-0001",  # placeholder identity; features only
             published=datetime.date(1970, 1, 1),
             descriptions=(description,) if description else (),
             cwe_ids=tuple(cwe_ids),
             cvss_v2=metrics,
         )
-        try:
-            with self._predict_lock:
-                score = float(
-                    self.artifacts.engine.predict_scores(
-                        [entry], model=self.model_used
-                    )[0]
-                )
-        except ValueError as error:  # e.g. a malformed "CWE-xyz" label
-            raise ServiceError(400, f"cannot featurise request: {error}") from None
-        return {
-            "model": self.model_used,
-            "score": round(score, 4),
-            "severity": severity_v3(score).value,
-            "cwe_ids": list(cwe_ids),
-            "version": self.version,
-        }
+
+    def _score_entries(self, entries: list[CveEntry]) -> list[float]:
+        """Scores for a parsed batch, bit-identical to row-at-a-time.
+
+        The forward pass is deliberately row-sliced, never fused into
+        one multi-row GEMM: BLAS kernels pick different reduction
+        blockings for different batch shapes, and measurement shows the
+        resulting scores drift in the last bits for the float64 *and*
+        the float32 models alike.  Bit-identity with the single-request
+        path is this API's contract (a micro-batched request must be
+        indistinguishable from an unbatched one), so what the batch
+        amortises is everything around the math — one queue drain, one
+        lock acquisition, and one thread wakeup cascade for the whole
+        batch — rather than the per-row arithmetic itself.
+        """
+        engine = self.artifacts.engine
+        with self._predict_lock:
+            return [
+                float(engine.predict_scores([entry], model=self.model_used)[0])
+                for entry in entries
+            ]
+
+    def predict_payloads(self, bodies: list[object]) -> list[object]:
+        """§4.3 predictions for a micro-batch of posted bodies.
+
+        Returns one item per body, **in order**: a payload dict, or the
+        :class:`ServiceError` that body earned.  Parsing and scoring
+        errors are per-row; only the forward pass is shared.
+        """
+        entries: list[CveEntry | None] = []
+        results: list[object] = []
+        for body in bodies:
+            try:
+                entries.append(self._parse_predict_body(body))
+                results.append(None)  # placeholder; filled after scoring
+            except ServiceError as error:
+                entries.append(None)
+                results.append(error)
+        valid = [entry for entry in entries if entry is not None]
+        if valid:
+            try:
+                scores = self._score_entries(valid)
+            except ValueError as error:  # e.g. a malformed "CWE-xyz" label
+                # Featurisation is batched for the GEMM models; fall
+                # back to row-wise so only the offending body 400s.
+                scores = []
+                for entry in valid:
+                    try:
+                        scores.append(self._score_entries([entry])[0])
+                    except ValueError as row_error:
+                        scores.append(
+                            ServiceError(
+                                400, f"cannot featurise request: {row_error}"
+                            )
+                        )
+                del error
+            cursor = iter(scores)
+            for index, entry in enumerate(entries):
+                if entry is None:
+                    continue
+                scored = next(cursor)
+                if isinstance(scored, ServiceError):
+                    results[index] = scored
+                    continue
+                results[index] = {
+                    "model": self.model_used,
+                    "score": round(scored, 4),
+                    "severity": severity_v3(scored).value,
+                    "cwe_ids": list(entry.cwe_ids),
+                    "version": self.version,
+                }
+        return results
+
+    def predict_payload(self, body: object) -> dict:
+        """§4.3 severity prediction for one posted vulnerability.
+
+        The body must carry a CVSS v2 vector (the features the
+        persisted models consume); an optional ``description`` feeds
+        the §4.4 ``CWE-[0-9]*`` regex to supply the CWE feature when
+        ``cwe_ids`` is not given explicitly.  This is the unbatched
+        reference path; the service's micro-batcher produces
+        bit-identical payloads via :meth:`predict_payloads`.
+        """
+        result = self.predict_payloads([body])[0]
+        if isinstance(result, ServiceError):
+            raise result
+        return result

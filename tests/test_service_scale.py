@@ -1,0 +1,468 @@
+"""Horizontal serve scale-out: shared cache, cursors, batched predict.
+
+Covers the cross-worker response cache (seqlock segment semantics,
+coherence across a hot swap), opaque cursor pagination (round-trip,
+tamper, version expiry), the micro-batched predict path (bit-identity
+against the single-request reference), and the supervisor status-cache
+staleness regression.
+"""
+
+import json
+import os
+import shutil
+import threading
+
+import pytest
+
+from repro.artifacts import ingest_delta, load_artifacts
+from repro.service import NvdService, ServiceError
+from repro.service.cursor import CursorError, decode_cursor, encode_cursor
+from repro.service.shared_cache import SharedResponseCache
+
+
+PREDICT_VECTOR = "AV:N/AC:L/Au:N/C:C/I:C/A:C"
+
+
+def body_bytes(i: int = 0) -> bytes:
+    return json.dumps(
+        {
+            "cvss_v2": PREDICT_VECTOR,
+            "description": f"heap overflow variant {i}, CWE-122.",
+        }
+    ).encode()
+
+
+@pytest.fixture(scope="module")
+def store(artifact_root, tmp_path_factory):
+    """A private store copy — the coherence test ingests into it."""
+    root = tmp_path_factory.mktemp("scale") / "store"
+    shutil.copytree(artifact_root, root)
+    return root
+
+
+@pytest.fixture()
+def segment():
+    seg = SharedResponseCache.create(slots=64, slot_bytes=4096)
+    yield seg
+    seg.unlink()
+
+
+class TestSharedResponseCache:
+    def test_put_get_roundtrip(self, segment):
+        segment.put("k1", (200, b'{"a":1}'))
+        assert segment.get("k1") == (200, b'{"a":1}')
+        assert segment.hits == 1
+
+    def test_absent_key_misses(self, segment):
+        assert segment.get("never-stored") is None
+        assert segment.misses == 1
+
+    def test_len_counts_occupied_slots(self, segment):
+        assert len(segment) == 0
+        segment.put("a", (200, b"1"))
+        segment.put("b", (200, b"2"))
+        assert len(segment) in (1, 2)  # direct-mapped: may collide
+
+    def test_clear_invalidates_everything(self, segment):
+        segment.put("k", (200, b"payload"))
+        assert segment.get("k") is not None
+        segment.clear()
+        assert segment.get("k") is None
+        assert len(segment) == 0
+
+    def test_direct_mapped_eviction_counts(self):
+        seg = SharedResponseCache.create(slots=1, slot_bytes=4096)
+        try:
+            seg.put("first", (200, b"1"))
+            seg.put("second", (200, b"2"))  # same (only) slot, new key
+            assert seg.evictions == 1
+            assert seg.get("first") is None
+            assert seg.get("second") == (200, b"2")
+        finally:
+            seg.unlink()
+
+    def test_oversized_value_is_skipped_not_stored(self, segment):
+        segment.put("big", (200, b"x" * (segment.capacity + 1)))
+        assert segment.too_large == 1
+        assert segment.get("big") is None
+
+    def test_attach_sees_owner_writes(self, segment):
+        segment.put("shared-key", (200, b"shared-body"))
+        other = SharedResponseCache.attach(segment.name)
+        try:
+            assert other.get("shared-key") == (200, b"shared-body")
+            other.put("reverse", (200, b"from-attacher"))
+            assert segment.get("reverse") == (200, b"from-attacher")
+        finally:
+            other.close()
+
+    def test_clear_propagates_to_attached_process_view(self, segment):
+        other = SharedResponseCache.attach(segment.name)
+        try:
+            segment.put("k", (200, b"v"))
+            assert other.get("k") is not None
+            other.clear()  # either side may bump the epoch
+            assert segment.get("k") is None
+        finally:
+            other.close()
+
+    def test_corrupted_slot_reads_as_miss(self, segment):
+        segment.put("victim", (200, b"payload-bytes"))
+        # scribble over the payload region of every slot; the CRC (or
+        # the stored key bytes) must reject the read, never return junk
+        buf = segment._shm.buf
+        for index in range(segment.slots):
+            offset = 64 + index * segment.slot_bytes + 32
+            buf[offset + 2] = (buf[offset + 2] + 1) % 256
+        assert segment.get("victim") is None
+
+    def test_attach_unknown_segment_raises(self):
+        from repro.service.shared_cache import SharedCacheError
+
+        with pytest.raises(SharedCacheError):
+            SharedResponseCache.attach("repro-cache-does-not-exist")
+
+    def test_stats_shape(self, segment):
+        segment.put("k", (200, b"v"))
+        segment.get("k")
+        stats = segment.stats()
+        assert stats["backend"] == "shared"
+        assert stats["slots"] == 64
+        assert stats["segment_bytes"] == 64 + 64 * 4096
+        assert stats["occupied"] == 1
+        assert stats["used_bytes"] > 0
+        assert stats["hits"] == 1 and stats["stores"] == 1
+
+
+class TestCursorTokens:
+    def test_round_trip(self):
+        token = encode_cursor("v0001", 42)
+        assert decode_cursor(token) == ("v0001", 42)
+
+    def test_opaque_urlsafe(self):
+        token = encode_cursor("v0001", 7)
+        assert "=" not in token and ":" not in token
+
+    def test_tampered_token_fails_integrity(self):
+        token = encode_cursor("v0001", 42)
+        mangled = token[:-2] + ("AA" if not token.endswith("AA") else "BB")
+        with pytest.raises(CursorError):
+            decode_cursor(mangled)
+
+    def test_garbage_rejected(self):
+        for bad in ("", "not-base64!!", "aGVsbG8", encode_cursor("v1", 0)[:4]):
+            with pytest.raises(CursorError):
+                decode_cursor(bad)
+
+    def test_negative_position_unencodable(self):
+        with pytest.raises(ValueError):
+            encode_cursor("v0001", -1)
+
+    def test_cross_process_stability(self):
+        # the digest must not depend on process-local salt: the exact
+        # token decodes anywhere (different workers mint/verify).
+        token = encode_cursor("v0002", 9)
+        assert token == encode_cursor("v0002", 9)
+        assert decode_cursor(token) == ("v0002", 9)
+
+
+class TestCursorPagination:
+    @pytest.fixture(scope="class")
+    def service(self, artifact_root):
+        service = NvdService(artifact_root, reload_interval=0.0)
+        yield service
+        service.close()
+
+    @pytest.fixture(scope="class")
+    def top_vendor(self, service):
+        snapshot = service.state.snapshot
+        vendor, count = max(
+            snapshot.vendor_cve_counts().items(),
+            key=lambda item: (item[1], item[0]),
+        )
+        assert count >= 3, "bundle too small for pagination tests"
+        return vendor, count
+
+    def get(self, service, path):
+        response = service.handle("GET", path, None)
+        return response.status, json.loads(response.body)
+
+    def test_cursor_walk_matches_offset_walk(self, service, top_vendor):
+        vendor, _ = top_vendor
+        full = self.get(service, f"/v1/vendor/{vendor}")[1]["cve_ids"]
+        seen, cursor = [], None
+        for _ in range(len(full) + 1):
+            path = f"/v1/vendor/{vendor}?limit=2"
+            if cursor:
+                path += f"&cursor={cursor}"
+            status, page = self.get(service, path)
+            assert status == 200
+            seen.extend(page["cve_ids"])
+            cursor = page["next_cursor"]
+            if cursor is None:
+                assert page["next_offset"] is None
+                break
+        assert seen == full
+
+    def test_cursor_resolves_on_a_sibling_worker(
+        self, artifact_root, service, top_vendor
+    ):
+        # next page routinely lands on a different SO_REUSEPORT worker;
+        # a token minted by one service must decode in another.
+        vendor, _ = top_vendor
+        _, first = self.get(service, f"/v1/vendor/{vendor}?limit=1")
+        sibling = NvdService(artifact_root, reload_interval=0.0)
+        try:
+            status, second = self.get(
+                sibling,
+                f"/v1/vendor/{vendor}?limit=1&cursor={first['next_cursor']}",
+            )
+            assert status == 200
+            assert second["offset"] == 1
+        finally:
+            sibling.close()
+
+    def test_tampered_cursor_400(self, service, top_vendor):
+        vendor, _ = top_vendor
+        status, payload = self.get(
+            service, f"/v1/vendor/{vendor}?cursor=tampered-token"
+        )
+        assert status == 400
+        assert "cursor" in payload["error"]
+
+    def test_cursor_and_offset_conflict_400(self, service, top_vendor):
+        vendor, _ = top_vendor
+        token = encode_cursor(service.state.version, 1)
+        status, payload = self.get(
+            service, f"/v1/vendor/{vendor}?cursor={token}&offset=2"
+        )
+        assert status == 400
+        assert "mutually exclusive" in payload["error"]
+
+    def test_swapped_version_cursor_400_names_both_versions(
+        self, service, top_vendor
+    ):
+        vendor, _ = top_vendor
+        stale = encode_cursor("v9999", 0)
+        status, payload = self.get(
+            service, f"/v1/vendor/{vendor}?cursor={stale}"
+        )
+        assert status == 400
+        assert "v9999" in payload["error"]
+        assert service.state.version in payload["error"]
+        assert "restart pagination" in payload["error"]
+
+    def test_product_route_pages_by_cursor_too(self, service):
+        snapshot = service.state.snapshot
+        pairs = {}
+        for entry in snapshot.entries:
+            for pair in entry.vendor_products():
+                pairs[pair] = pairs.get(pair, 0) + 1
+        (vendor, product), count = max(
+            pairs.items(), key=lambda item: (item[1], item[0])
+        )
+        if count < 3:
+            pytest.skip("bundle too small for product cursor walk")
+        status, first = self.get(
+            service, f"/v1/product/{vendor}/{product}?limit=2"
+        )
+        assert status == 200 and first["next_cursor"]
+        status, second = self.get(
+            service,
+            f"/v1/product/{vendor}/{product}?limit=2"
+            f"&cursor={first['next_cursor']}",
+        )
+        assert status == 200
+        assert second["offset"] == 2
+        assert second["cve_ids"][: len(first["cve_ids"])] != first["cve_ids"]
+
+
+class TestBatchedPredict:
+    @pytest.fixture(scope="class")
+    def service(self, artifact_root):
+        service = NvdService(artifact_root, reload_interval=0.0)
+        yield service
+        service.close()
+
+    def test_batched_payloads_bit_identical_to_single(self, service):
+        bodies = [json.loads(body_bytes(i)) for i in range(8)]
+        singles = [service.state.predict_payload(body) for body in bodies]
+        batched = service.state.predict_payloads(bodies)
+        assert batched == singles  # full payload equality, rounded scores included
+
+    def test_concurrent_burst_matches_single_request_bytes(self, service):
+        references = [
+            service.handle("POST", "/v1/severity/predict", body_bytes(i)).body
+            for i in range(16)
+        ]
+        results: list = [None] * 16
+
+        def hit(i: int) -> None:
+            results[i] = service.handle(
+                "POST", "/v1/severity/predict", body_bytes(i)
+            )
+
+        threads = [
+            threading.Thread(target=hit, args=(i,)) for i in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(r.status == 200 for r in results)
+        assert [r.body for r in results] == references
+
+    def test_bad_row_does_not_poison_batch(self, service):
+        good = json.loads(body_bytes(0))
+        results = service.state.predict_payloads(
+            [good, {"cvss_v2": "AV:Q/nonsense"}, good]
+        )
+        assert isinstance(results[1], ServiceError)
+        assert results[1].status == 400
+        assert results[0] == results[2]
+        assert results[0] == service.state.predict_payload(good)
+
+    def test_score_entries_bit_identical_to_row_at_a_time(self, service):
+        # The scoring layer's contract: a coalesced batch scores each
+        # row exactly as a lone request would, bit for bit.  (BLAS does
+        # not preserve per-row bit patterns across batch shapes, which
+        # is why _score_entries row-slices instead of fusing a GEMM —
+        # this test is what forbids regressing to a fused pass.)
+        state = service.state
+        entries = [
+            state._parse_predict_body(json.loads(body_bytes(i)))
+            for i in range(12)
+        ]
+        batched = state._score_entries(entries)
+        rowwise = [state._score_entries([entry])[0] for entry in entries]
+        assert batched == rowwise
+
+    def test_batching_telemetry_counts(self, service):
+        before = service._batcher.stats()
+        service.handle("POST", "/v1/severity/predict", body_bytes(99))
+        after = service._batcher.stats()
+        assert after["batches"] > before["batches"]
+        assert after["rows"] > before["rows"]
+        assert after["window_ms"] >= 0.0
+
+
+class TestSharedCacheCoherence:
+    def test_no_stale_version_response_across_hot_swap(self, store):
+        """Two services share one segment; an ingest-driven hot swap in
+        either must invalidate the segment for both, and no request may
+        ever observe the old version's data under the new version."""
+        segment = SharedResponseCache.create(slots=256, slot_bytes=16384)
+        a = NvdService(store, reload_interval=0.0, shared_cache=segment)
+        b = NvdService(
+            store,
+            reload_interval=0.0,
+            shared_cache=SharedResponseCache.attach(segment.name),
+        )
+        try:
+            v1 = a.state.version
+            stats_v1 = json.loads(a.handle("GET", "/v1/stats", None).body)
+            # b warms from the segment: a's response is a cross-worker hit
+            b.handle("GET", "/v1/stats", None)
+            assert json.loads(
+                b.handle("GET", "/v1/metrics", None).body
+            )["cache"]["hits"] >= 1
+
+            artifacts = load_artifacts(store)
+            base = artifacts.snapshot.entries[0]
+            result = ingest_delta(
+                store, [base.replace(cve_id="CVE-2018-99888", cvss_v3=None)]
+            )
+            assert result.version != v1
+
+            # whichever service answers first swaps and bumps the epoch
+            health_a = json.loads(a.handle("GET", "/healthz", None).body)
+            health_b = json.loads(b.handle("GET", "/healthz", None).body)
+            assert health_a["version"] == result.version
+            assert health_b["version"] == result.version
+
+            # the new version's stats must be fresh — n_cves moved
+            stats_a = json.loads(a.handle("GET", "/v1/stats", None).body)
+            stats_b = json.loads(b.handle("GET", "/v1/stats", None).body)
+            assert stats_a["n_cves"] == stats_v1["n_cves"] + 1
+            assert stats_b == stats_a
+
+            # and the segment repopulates under the new version: a
+            # repeat of b's request is a hit again
+            hits_before = json.loads(
+                b.handle("GET", "/v1/metrics", None).body
+            )["cache"]["hits"]
+            b.handle("GET", "/v1/stats", None)
+            hits_after = json.loads(
+                b.handle("GET", "/v1/metrics", None).body
+            )["cache"]["hits"]
+            assert hits_after > hits_before
+        finally:
+            a.close()
+            b.close()
+            segment.unlink()
+
+    def test_metrics_expose_shared_cache_families(self, store):
+        segment = SharedResponseCache.create(slots=64, slot_bytes=4096)
+        service = NvdService(store, reload_interval=0.0, shared_cache=segment)
+        try:
+            service.handle("GET", "/v1/stats", None)
+            payload = json.loads(
+                service.handle("GET", "/v1/metrics", None).body
+            )
+            assert payload["cache"]["backend"] == "shared"
+            assert payload["cache"]["shared"]["segment"] == segment.name
+            assert payload["pid"] == os.getpid()
+            text = service.render_metrics_text()
+            for family in (
+                "repro_http_cache_shared_slots",
+                "repro_http_cache_shared_occupied",
+                "repro_http_cache_shared_used_bytes",
+                "repro_http_cache_shared_segment_bytes",
+                "repro_http_cache_shared_stores_total",
+                "repro_predict_batch_total",
+                "repro_predict_batch_rows_bucket",
+                "repro_predict_batch_window_ms",
+            ):
+                assert family in text, family
+        finally:
+            service.close()
+            segment.unlink()
+
+    def test_private_cache_metrics_name_backend(self, store):
+        service = NvdService(store, reload_interval=0.0)
+        try:
+            payload = json.loads(
+                service.handle("GET", "/v1/metrics", None).body
+            )
+            assert payload["cache"]["backend"] == "private"
+            assert "shared" not in payload["cache"]
+        finally:
+            service.close()
+
+
+class TestSupervisorStatusCache:
+    def test_same_mtime_rewrite_is_not_served_stale(self, tmp_path, store):
+        """Regression: the status cache used to key on mtime alone, so
+        a rewrite landing within one timestamp granule kept serving the
+        old payload.  Keying on (mtime_ns, size) catches it."""
+        root = tmp_path / "store"
+        shutil.copytree(store, root)
+        service = NvdService(root, reload_interval=0.0)
+        try:
+            status_path = root / ".supervisor.json"
+            status_path.write_text(
+                json.dumps({"alive": 2, "degraded": False}), encoding="utf-8"
+            )
+            first = service.supervisor_status()
+            assert first == {"alive": 2, "degraded": False}
+            stat = status_path.stat()
+            # rewrite with different content/size, then force the exact
+            # same mtime back — the coarse-timestamp collision
+            status_path.write_text(
+                json.dumps({"alive": 1, "degraded": True}), encoding="utf-8"
+            )
+            os.utime(status_path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+            second = service.supervisor_status()
+            assert second == {"alive": 1, "degraded": True}
+        finally:
+            service.close()

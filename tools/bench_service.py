@@ -13,6 +13,15 @@ preset, default ``baseline`` — the historical 50/15/15/10/5/5 mix) and
 replays bit-identically from ``(trace, snapshot, requests, seed)``.
 The scenario is recorded in every run entry.
 
+``--workers-sweep 1,2,4`` benchmarks the *multi-process* plane
+instead of the in-process server: for each worker count it launches
+``repro serve --workers N`` as a subprocess (private response caches,
+then one shared segment with ``--cache both``), replays the same
+trace, aggregates every worker's ``/v1/metrics`` cache block by pid,
+and records one run per configuration — rps, p50/p95, the
+cross-worker cache hit ratio, and the shared segment's occupancy and
+memory footprint (schema ``repro-bench-service/3``).
+
 ``--ingest DELTA_FEED`` benchmarks the *write* path instead: it times
 ``repro.artifacts.ingest_delta`` rolling the delta (typically from
 ``tools/make_delta_feed.py``) into a new store version and records
@@ -37,7 +46,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
+import signal
+import socket
+import subprocess
 import sys
 import threading
 import time
@@ -47,7 +60,7 @@ import urllib.request
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA = "repro-bench-service/2"
+SCHEMA = "repro-bench-service/3"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
 
 #: required keys of one serving run entry and their types.  ``scenario``
@@ -64,6 +77,15 @@ _RUN_FIELDS = {
     "p50_ms": (int, float),
     "p95_ms": (int, float),
     "endpoints": dict,
+}
+
+#: optional serving-run keys added by the workers sweep (schema /3);
+#: typed when present, absent on in-process runs.
+_OPTIONAL_RUN_FIELDS = {
+    "workers": int,
+    "cache": str,
+    "cache_hit_ratio": (int, float),
+    "shared_cache": dict,
 }
 
 #: required keys of one ``kind: "ingest"`` run entry.
@@ -105,6 +127,13 @@ def validate(data: object) -> list[str]:
                 errors.append(f"runs[{i}].{field} has wrong type")
         if kind == "ingest":
             continue
+        for field, types in _OPTIONAL_RUN_FIELDS.items():
+            if field in run and run[field] is not None and not isinstance(
+                run[field], types
+            ):
+                errors.append(f"runs[{i}].{field} has wrong type")
+        if run.get("cache") not in (None, "shared", "private"):
+            errors.append(f"runs[{i}].cache must be 'shared' or 'private'")
         endpoints = run.get("endpoints")
         if isinstance(endpoints, dict):
             for name, stats in endpoints.items():
@@ -234,6 +263,200 @@ def bench(
     }
 
 
+def _free_port(host: str = "127.0.0.1") -> int:
+    """An ephemeral port number (released before the server binds it)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _wait_healthy(base_url: str, timeout_s: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(base_url + "/healthz", timeout=2) as resp:
+                if resp.status == 200:
+                    return
+        except (urllib.error.URLError, OSError):
+            pass
+        time.sleep(0.1)
+    raise RuntimeError(f"server at {base_url} never became healthy")
+
+
+def _collect_worker_metrics(
+    base_url: str, expect: int, attempts: int = 200
+) -> dict[int, dict]:
+    """Latest ``/v1/metrics`` blob per worker pid.
+
+    ``SO_REUSEPORT`` load-balances *connections*, so hitting the
+    endpoint repeatedly eventually lands on every worker; each blob
+    carries its worker's ``pid``.  Returns what it saw even when fewer
+    than ``expect`` pids answered within the attempt budget.
+    """
+    seen: dict[int, dict] = {}
+    for _ in range(attempts):
+        try:
+            with urllib.request.urlopen(base_url + "/v1/metrics", timeout=5) as resp:
+                blob = json.loads(resp.read())
+        except (urllib.error.URLError, OSError, json.JSONDecodeError):
+            time.sleep(0.05)
+            continue
+        pid = blob.get("pid")
+        if isinstance(pid, int):
+            seen[pid] = blob
+        if len(seen) >= expect:
+            break
+    return seen
+
+
+def bench_workers_sweep(
+    artifacts_dir: pathlib.Path,
+    counts: list[int],
+    n_requests: int,
+    clients: int,
+    seed: int,
+    label: str,
+    scenario_name: str,
+    cache_modes: list[str],
+) -> list[dict]:
+    """One run record per (worker count, cache backend) configuration.
+
+    Unlike :func:`bench` this drives real ``repro serve`` subprocesses
+    — the supervisor, ``SO_REUSEPORT`` workers, and (for the shared
+    mode) the cross-worker cache segment are all the production path.
+    The same trace replays against every configuration, so hit ratios
+    compare like for like.
+    """
+    from repro.artifacts import load_artifacts, read_current
+    from repro.runtime import SerialExecutor, ThreadExecutor
+    from repro.synth import build_request_trace, get_scenario
+
+    scenario = get_scenario(scenario_name)
+    current = read_current(artifacts_dir)
+    artifacts = load_artifacts(
+        artifacts_dir, current, executor=SerialExecutor()
+    )
+    workload = build_request_trace(
+        scenario.trace, artifacts.snapshot, n_requests, seed
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    runs: list[dict] = []
+    for workers in counts:
+        for cache_mode in cache_modes:
+            port = _free_port()
+            base_url = f"http://127.0.0.1:{port}"
+            cmd = [
+                sys.executable, "-m", "repro", "serve",
+                "--artifacts", str(artifacts_dir),
+                "--port", str(port),
+                "--workers", str(workers),
+            ]
+            if current:
+                cmd += ["--version", current]
+            if cache_mode == "shared":
+                cmd.append("--shared-cache")
+            proc = subprocess.Popen(
+                cmd,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+                env=env,
+            )
+            try:
+                _wait_healthy(base_url)
+                print(
+                    f"[bench-service] sweep: workers={workers} "
+                    f"cache={cache_mode} at {base_url}"
+                )
+                executor = ThreadExecutor(workers=clients)
+                try:
+                    t_wall = time.perf_counter()
+                    results = executor.map(
+                        lambda item: fire(base_url, item), workload
+                    )
+                    wall_s = time.perf_counter() - t_wall
+                finally:
+                    executor.close()
+                failures = [s for _, s, _ in results if s >= 400]
+                if failures:
+                    raise RuntimeError(
+                        f"{len(failures)} sweep requests failed "
+                        f"(first status {failures[0]})"
+                    )
+                per_worker = _collect_worker_metrics(base_url, workers)
+            finally:
+                proc.send_signal(signal.SIGINT)
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=5)
+            hits = sum(
+                blob.get("cache", {}).get("hits", 0)
+                for blob in per_worker.values()
+            )
+            misses = sum(
+                blob.get("cache", {}).get("misses", 0)
+                for blob in per_worker.values()
+            )
+            lookups = hits + misses
+            shared_block = None
+            if cache_mode == "shared":
+                for blob in per_worker.values():
+                    segment = blob.get("cache", {}).get("shared")
+                    if segment:
+                        shared_block = {
+                            "slots": segment.get("slots"),
+                            "occupied": segment.get("occupied"),
+                            "used_bytes": segment.get("used_bytes"),
+                            "segment_bytes": segment.get("segment_bytes"),
+                        }
+                        break
+            latencies = sorted(seconds for _, _, seconds in results)
+            by_endpoint: dict[str, list[float]] = {}
+            for endpoint, _, seconds in results:
+                by_endpoint.setdefault(endpoint, []).append(seconds)
+            run = {
+                "label": label,
+                "scenario": scenario.name,
+                "requests": n_requests,
+                "clients": clients,
+                "workers": workers,
+                "cache": cache_mode,
+                "n_cves": len(artifacts.snapshot),
+                "version": artifacts.version,
+                "wall_s": round(wall_s, 3),
+                "rps": round(n_requests / wall_s, 1) if wall_s > 0 else 0.0,
+                "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+                "p95_ms": round(percentile(latencies, 0.95) * 1000, 3),
+                "cache_hit_ratio": (
+                    round(hits / lookups, 4) if lookups else None
+                ),
+                "workers_reporting": len(per_worker),
+                "shared_cache": shared_block,
+                "endpoints": {
+                    name: {
+                        "count": len(values),
+                        "p50_ms": round(
+                            percentile(sorted(values), 0.50) * 1000, 3
+                        ),
+                        "p95_ms": round(
+                            percentile(sorted(values), 0.95) * 1000, 3
+                        ),
+                    }
+                    for name, values in sorted(by_endpoint.items())
+                },
+                "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            }
+            print(
+                f"[bench-service]   {run['rps']} req/s, p50 "
+                f"{run['p50_ms']}ms, p95 {run['p95_ms']}ms, hit ratio "
+                f"{run['cache_hit_ratio']}"
+            )
+            runs.append(run)
+    return runs
+
+
 def bench_ingest(
     artifacts_dir: pathlib.Path,
     delta_path: pathlib.Path,
@@ -291,6 +514,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2018)
     parser.add_argument("--label", default="current")
     parser.add_argument(
+        "--workers-sweep", metavar="N,N,...",
+        help="benchmark real `repro serve --workers N` subprocesses for "
+        "each worker count (e.g. 1,2,4), recording per-config rps, "
+        "latency, cross-worker cache hit ratio, and shared-segment "
+        "footprint",
+    )
+    parser.add_argument(
+        "--cache", choices=("private", "shared", "both"), default="both",
+        help="cache backend(s) the workers sweep exercises "
+        "(default: both, one run per backend per worker count)",
+    )
+    parser.add_argument(
         "--scenario", default="baseline", metavar="NAME",
         help="scenario preset whose request trace to replay "
         "(default: baseline)",
@@ -338,7 +573,28 @@ def main(argv: list[str] | None = None) -> int:
         document = {"schema": SCHEMA, "runs": []}
     document["schema"] = SCHEMA
 
-    if args.ingest is not None:
+    if args.workers_sweep is not None:
+        try:
+            counts = [int(part) for part in args.workers_sweep.split(",") if part]
+        except ValueError:
+            parser.error("--workers-sweep must be a comma list of integers")
+        if not counts or any(count < 1 for count in counts):
+            parser.error("--workers-sweep counts must be positive")
+        cache_modes = (
+            ["private", "shared"] if args.cache == "both" else [args.cache]
+        )
+        runs = bench_workers_sweep(
+            args.artifacts,
+            counts,
+            args.requests,
+            args.clients,
+            args.seed,
+            args.label,
+            args.scenario,
+            cache_modes,
+        )
+        document["runs"].extend(runs)
+    elif args.ingest is not None:
         run = bench_ingest(args.artifacts, args.ingest, args.label, scenario_name=args.scenario)
         document["runs"].append(run)
         print(

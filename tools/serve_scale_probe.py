@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""CI probe for the multi-worker serving plane.
+
+Launches ``repro serve --workers N --shared-cache`` against an artifact
+store, then drives the scale-out surface end to end:
+
+1. waits for ``/healthz``, then collects ``/v1/metrics`` until every
+   worker pid has reported, asserting each one runs the *shared* cache
+   backend against the same segment;
+2. walks a vendor's id list by following ``next_cursor`` page by page
+   (on whichever worker the kernel routes each request to) and asserts
+   the walk reproduces the offset-paged full list exactly;
+3. asserts a tampered cursor fails with a self-describing 400;
+4. fires a concurrent predict burst and asserts every response is
+   bit-identical to its single-request reference;
+5. re-collects per-worker metrics, asserts cross-worker cache hits
+   happened, and lints the Prometheus ``/metrics`` exposition with
+   ``tools/check_metrics.py`` (shared-cache and predict-batch families
+   included).
+
+Exit code 0 when every probe passes; 1 with a diagnostic otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_scale_probe.py --artifacts /tmp/store
+    PYTHONPATH=src python tools/serve_scale_probe.py --artifacts /tmp/store \
+        --workers 2 --burst 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+PREDICT_VECTOR = "AV:N/AC:L/Au:N/C:C/I:C/A:C"
+
+
+class ProbeFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProbeFailure(message)
+
+
+def get(base_url: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(base_url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def get_text(base_url: str, path: str) -> tuple[int, str]:
+    with urllib.request.urlopen(base_url + path, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def post(base_url: str, path: str, body: dict) -> tuple[int, bytes]:
+    request = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_healthy(base_url: str, timeout_s: float = 90.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            status, _ = get(base_url, "/healthz")
+            if status == 200:
+                return
+        except (urllib.error.URLError, OSError):
+            pass
+        time.sleep(0.2)
+    raise ProbeFailure(f"server at {base_url} never became healthy")
+
+
+def collect_worker_metrics(
+    base_url: str, expect: int, attempts: int = 400
+) -> dict[int, dict]:
+    """Latest /v1/metrics blob per worker pid (SO_REUSEPORT roulette)."""
+    seen: dict[int, dict] = {}
+    for _ in range(attempts):
+        status, blob = get(base_url, "/v1/metrics")
+        if status == 200 and isinstance(blob.get("pid"), int):
+            seen[blob["pid"]] = blob
+        if len(seen) >= expect:
+            break
+        time.sleep(0.02)
+    return seen
+
+
+def probe_shared_backend(base_url: str, workers: int) -> dict[int, dict]:
+    per_worker = collect_worker_metrics(base_url, workers)
+    check(
+        len(per_worker) == workers,
+        f"expected {workers} worker pids in /v1/metrics, saw "
+        f"{sorted(per_worker)}",
+    )
+    segments = {
+        blob["cache"].get("shared", {}).get("segment")
+        for blob in per_worker.values()
+    }
+    backends = {blob["cache"]["backend"] for blob in per_worker.values()}
+    check(backends == {"shared"}, f"cache backends: {backends}")
+    check(
+        len(segments) == 1 and None not in segments,
+        f"workers disagree on the shared segment: {segments}",
+    )
+    print(
+        f"[probe] {workers} workers on shared segment "
+        f"{next(iter(segments))}"
+    )
+    return per_worker
+
+
+def probe_cursor_walk(base_url: str, snapshot) -> None:
+    vendor, count = max(
+        snapshot.vendor_cve_counts().items(),
+        key=lambda item: (item[1], item[0]),
+    )
+    quoted = urllib.parse.quote(vendor)
+    status, full_page = get(base_url, f"/v1/vendor/{quoted}")
+    check(status == 200, f"vendor fetch failed: {status}")
+    full = full_page["cve_ids"]
+    seen: list[str] = []
+    cursor = None
+    for _ in range(count + 2):
+        path = f"/v1/vendor/{quoted}?limit=2"
+        if cursor:
+            path += f"&cursor={cursor}"
+        status, page = get(base_url, path)
+        check(status == 200, f"cursor page failed: {status} {page}")
+        seen.extend(page["cve_ids"])
+        cursor = page["next_cursor"]
+        if cursor is None:
+            break
+    check(
+        seen == full,
+        f"cursor walk diverged: {len(seen)} ids vs {len(full)} expected",
+    )
+    status, error = get(base_url, f"/v1/vendor/{quoted}?cursor=tampered!!")
+    check(status == 400, f"tampered cursor answered {status}")
+    check("cursor" in error.get("error", ""), f"unhelpful 400: {error}")
+    print(
+        f"[probe] cursor walk over {vendor!r} reproduced {len(full)} ids "
+        "across workers; tampered cursor rejected with 400"
+    )
+
+
+def probe_predict_burst(base_url: str, burst: int) -> None:
+    bodies = [
+        {
+            "cvss_v2": PREDICT_VECTOR,
+            "description": f"stack overflow variant {i}, CWE-121.",
+        }
+        for i in range(burst)
+    ]
+    references = []
+    for body in bodies:
+        status, payload = post(base_url, "/v1/severity/predict", body)
+        check(status == 200, f"reference predict failed: {status} {payload!r}")
+        references.append(payload)
+    results: list = [None] * burst
+
+    def hit(i: int) -> None:
+        results[i] = post(base_url, "/v1/severity/predict", bodies[i])
+
+    threads = [threading.Thread(target=hit, args=(i,)) for i in range(burst)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for i, (status, payload) in enumerate(results):
+        check(status == 200, f"burst predict {i} failed: {status}")
+        check(
+            payload == references[i],
+            f"burst predict {i} diverged from its single-request reference",
+        )
+    print(
+        f"[probe] {burst}-request concurrent predict burst bit-identical "
+        "to single-request references"
+    )
+
+
+def probe_metrics_lint(base_url: str) -> None:
+    import check_metrics
+
+    status, text = get_text(base_url, "/metrics")
+    check(status == 200, f"/metrics answered {status}")
+    problems = check_metrics.lint_exposition(text)
+    check(not problems, f"/metrics lint problems: {problems}")
+    for family in (
+        "repro_http_cache_shared_slots",
+        "repro_http_cache_shared_occupied",
+        "repro_http_cache_shared_segment_bytes",
+        "repro_predict_batch_total",
+        "repro_predict_batch_rows_bucket",
+    ):
+        check(family in text, f"family {family} missing from /metrics")
+    print("[probe] /metrics lints clean with shared-cache + batch families")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", type=pathlib.Path, required=True, metavar="DIR"
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--burst", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    from repro.artifacts import load_artifacts
+    from repro.runtime import SerialExecutor
+
+    artifacts = load_artifacts(args.artifacts, executor=SerialExecutor())
+    port = free_port()
+    base_url = f"http://127.0.0.1:{port}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--artifacts", str(args.artifacts),
+            "--port", str(port),
+            "--workers", str(args.workers),
+            "--shared-cache",
+        ],
+        env=env,
+    )
+    try:
+        wait_healthy(base_url)
+        per_worker = probe_shared_backend(base_url, args.workers)
+        probe_cursor_walk(base_url, artifacts.snapshot)
+        probe_predict_burst(base_url, args.burst)
+        # Hot-key phase: the first /v1/stats populates the shared
+        # segment from whichever worker caught it; every repeat — on
+        # ANY worker — must then hit the shared cache.
+        for _ in range(20):
+            status, _ = get(base_url, "/v1/stats")
+            check(status == 200, f"stats answered {status}")
+        after = collect_worker_metrics(base_url, args.workers)
+        total_hits = sum(
+            blob["cache"]["hits"] for blob in after.values()
+        )
+        check(total_hits > 0, "no cache hits recorded across workers")
+        probe_metrics_lint(base_url)
+        print(
+            f"[probe] OK: {args.workers} workers, {total_hits} cache hits "
+            f"across pids {sorted(after)}"
+        )
+        del per_worker
+        return 0
+    except ProbeFailure as failure:
+        print(f"[probe] FAILED: {failure}", file=sys.stderr)
+        return 1
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
